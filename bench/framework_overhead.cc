@@ -1,0 +1,113 @@
+// Experiment B-overhead (DESIGN.md) -- the cost of the event-driven
+// framework, measured with google-benchmark on real (wall-clock) time.
+//
+// The follow-on work to this paper (Cactus; "Experience with modularity in
+// Consul") evaluates exactly this: what does decomposing a protocol into
+// micro-protocols cost per event?  We measure:
+//
+//   * EventDispatch/N      -- triggering one event with N registered
+//                             handlers (framework dispatch + priority chain)
+//   * TimeoutRegistration  -- arming + cancelling a TIMEOUT registration
+//   * FullCall/<config>    -- one complete simulated group RPC (client call
+//                             through 3 servers to completion) for a minimal
+//                             configuration vs a fully loaded one; the gap is
+//                             the price of the added micro-protocols
+//   * CodecNetMessage      -- encode+decode of a wire message
+#include <benchmark/benchmark.h>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+#include "net/message.h"
+#include "runtime/framework.h"
+
+namespace {
+
+using namespace ugrpc;
+
+constexpr runtime::EventId kEvent{1};
+
+void BM_EventDispatch(benchmark::State& state) {
+  sim::Scheduler sched;
+  runtime::Framework fw(sched, DomainId{1});
+  const int handlers = static_cast<int>(state.range(0));
+  for (int i = 0; i < handlers; ++i) {
+    fw.register_handler(kEvent, "h" + std::to_string(i), i,
+                        [](runtime::EventContext&) -> sim::Task<> { co_return; });
+  }
+  int arg = 0;
+  for (auto _ : state) {
+    sched.spawn([](runtime::Framework& f, int& a) -> sim::Task<> {
+      co_await f.trigger(kEvent, runtime::EventArg::ref(a));
+    }(fw, arg));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * handlers);
+}
+BENCHMARK(BM_EventDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TimeoutRegistration(benchmark::State& state) {
+  sim::Scheduler sched;
+  runtime::Framework fw(sched, DomainId{1});
+  for (auto _ : state) {
+    TimerId id = fw.register_timeout("t", sim::seconds(10), []() -> sim::Task<> { co_return; });
+    fw.cancel_timeout(id);
+  }
+}
+BENCHMARK(BM_TimeoutRegistration);
+
+core::Config minimal_config() {
+  core::Config c;
+  c.acceptance_limit = 1;
+  return c;
+}
+
+core::Config loaded_config() {
+  core::Config c;
+  c.acceptance_limit = core::kAll;
+  c.reliable_communication = true;
+  c.unique_execution = true;
+  c.ordering = core::Ordering::kTotal;
+  c.execution = core::ExecutionMode::kSerial;
+  c.orphan = core::OrphanHandling::kInterferenceAvoidance;
+  return c;
+}
+
+void run_full_call(benchmark::State& state, core::Config config) {
+  core::ScenarioParams p;
+  p.num_servers = 3;
+  p.config = std::move(config);
+  core::Scenario s(std::move(p));
+  for (auto _ : state) {
+    core::CallResult result;
+    s.run_client(0, [&](core::Client& c) -> sim::Task<> {
+      result = co_await c.call(s.group(), OpId{1}, Buffer{});
+    });
+    benchmark::DoNotOptimize(result.status);
+  }
+}
+
+void BM_FullCall_Minimal(benchmark::State& state) { run_full_call(state, minimal_config()); }
+BENCHMARK(BM_FullCall_Minimal);
+
+void BM_FullCall_FullyLoaded(benchmark::State& state) { run_full_call(state, loaded_config()); }
+BENCHMARK(BM_FullCall_FullyLoaded);
+
+void BM_CodecNetMessage(benchmark::State& state) {
+  net::NetMessage msg;
+  msg.type = net::MsgType::kCall;
+  msg.id = CallId{123456};
+  msg.op = OpId{7};
+  Writer(msg.args).str("some moderately sized argument payload for the call");
+  msg.server = GroupId{1};
+  msg.sender = ProcessId{9};
+  for (auto _ : state) {
+    const Buffer wire = msg.encode();
+    const net::NetMessage decoded = net::NetMessage::decode(wire);
+    benchmark::DoNotOptimize(decoded.id);
+  }
+}
+BENCHMARK(BM_CodecNetMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Experiment B-modularity (ablation) -- what does the micro-protocol
+// architecture cost relative to a hand-fused protocol?
+//
+// The paper: point-to-point RPC "would likely be implemented separately to
+// obtain a more compact and efficient protocol".  We built that compact
+// protocol (core/p2p_rpc.h) with the same wire format and the same
+// semantics (reliable + unique execution), and compare one complete
+// simulated call:
+//
+//   composite(n=1)  -- the full micro-protocol composite with a one-member
+//                      group: framework dispatch, HOLD gating, event chains
+//   p2p fast path   -- monolithic class, straight-line code
+//
+// The gap is the modularity tax the paper accepts for configurability.
+// Measured in real (CPU) time with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/micro/acceptance.h"
+#include "core/p2p_rpc.h"
+#include "core/scenario.h"
+
+namespace {
+
+using namespace ugrpc;
+
+void BM_Composite_SingleServerCall(benchmark::State& state) {
+  core::ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  core::Scenario s(std::move(p));
+  for (auto _ : state) {
+    core::CallResult result;
+    s.run_client(0, [&](core::Client& c) -> sim::Task<> {
+      result = co_await c.call(s.group(), OpId{1}, Buffer{});
+    });
+    benchmark::DoNotOptimize(result.status);
+  }
+}
+BENCHMARK(BM_Composite_SingleServerCall);
+
+void BM_P2pFastPath_Call(benchmark::State& state) {
+  sim::Scheduler sched{3};
+  net::Network net{sched};
+  net::Endpoint& client_ep = net.attach(ProcessId{1}, DomainId{1});
+  net::Endpoint& server_ep = net.attach(ProcessId{2}, DomainId{2});
+  core::UserProtocol client_user;
+  core::UserProtocol server_user;
+  server_user.set_procedure([](OpId, Buffer&) -> sim::Task<> { co_return; });
+  core::P2pRpc client(sched, net, client_ep, ProcessId{1}, client_user, {});
+  core::P2pRpc server(sched, net, server_ep, ProcessId{2}, server_user, {});
+  for (auto _ : state) {
+    core::CallResult result;
+    sched.spawn([](core::P2pRpc& c, core::CallResult& out) -> sim::Task<> {
+      out = co_await c.call(ProcessId{2}, OpId{1}, Buffer{});
+    }(client, result), DomainId{1});
+    sched.run();
+    benchmark::DoNotOptimize(result.status);
+  }
+}
+BENCHMARK(BM_P2pFastPath_Call);
+
+}  // namespace
+
+BENCHMARK_MAIN();

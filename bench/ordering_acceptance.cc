@@ -1,0 +1,104 @@
+// Experiments B-ordering and B-acceptance (DESIGN.md) -- latency shape of
+// the ordering micro-protocols and of the acceptance policy.
+//
+// B-ordering: mean synchronous call latency vs group size for no ordering,
+// FIFO order, and total order (acceptance=ALL so every member's execution is
+// on the critical path).  Expected shape: none ~= fifo (no extra messages)
+// < total (the leader's Order dissemination adds a one-way delay, growing
+// slightly with group size).
+//
+// B-acceptance: mean call latency vs acceptance limit k for a group of 5
+// with heterogeneous server speeds (server i thinks for 2*(i-1) ms).
+// Expected shape: latency climbs from the fastest member's response time at
+// k=1 to the slowest member's at k=5 -- the paper's section 5 motivation for
+// configuring acceptance per application.
+#include <cstdio>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace {
+
+using namespace ugrpc;
+using namespace ugrpc::core;
+
+constexpr OpId kOp{1};
+constexpr int kCalls = 40;
+
+double mean_latency_ms(ScenarioParams params, int calls = kCalls) {
+  Scenario s(std::move(params));
+  double total_ms = 0;
+  int completed = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (int i = 0; i < calls; ++i) {
+      const sim::Time t0 = s.scheduler().now();
+      const CallResult r = co_await c.call(s.group(), kOp, Buffer{});
+      if (r.ok()) {
+        total_ms += sim::to_msec(s.scheduler().now() - t0);
+        ++completed;
+      }
+    }
+  }, sim::seconds(120));
+  return completed > 0 ? total_ms / completed : -1.0;
+}
+
+Config ordered_config(Ordering ordering) {
+  Config c;
+  c.acceptance_limit = kAll;
+  c.reliable_communication = true;
+  c.retrans_timeout = sim::msec(100);
+  if (ordering == Ordering::kTotal) c.unique_execution = true;
+  c.ordering = ordering;
+  return c;
+}
+
+void bench_ordering() {
+  std::printf("--- B-ordering: call latency (ms) vs group size, acceptance=ALL ---\n");
+  std::printf("%-12s", "group size");
+  for (int n : {1, 2, 3, 5, 8}) std::printf("  n=%-6d", n);
+  std::printf("\n");
+  const Ordering kinds[] = {Ordering::kNone, Ordering::kFifo, Ordering::kTotal};
+  for (Ordering ordering : kinds) {
+    std::printf("%-12s", std::string(to_string(ordering)).c_str());
+    for (int n : {1, 2, 3, 5, 8}) {
+      ScenarioParams p;
+      p.num_servers = n;
+      p.config = ordered_config(ordering);
+      p.seed = 5;
+      std::printf("  %-8.3f", mean_latency_ms(std::move(p)));
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: none ~= fifo < total (Order dissemination adds a hop)\n\n");
+}
+
+void bench_acceptance() {
+  std::printf("--- B-acceptance: call latency (ms) vs acceptance limit, 5 servers ---\n");
+  std::printf("(server i thinks 2*(i-1) ms: members answer after 0,2,4,6,8 ms)\n");
+  std::printf("%-14s  %-12s\n", "acceptance k", "latency (ms)");
+  for (int k : {1, 2, 3, 4, 5}) {
+    ScenarioParams p;
+    p.num_servers = 5;
+    p.config.acceptance_limit = k;
+    p.config.reliable_communication = true;
+    p.seed = 5;
+    p.server_app = [](UserProtocol& user, Site& site) {
+      const sim::Duration think = sim::msec(2) * (site.id().value() - 1);
+      user.set_procedure([&site, think](OpId, Buffer&) -> sim::Task<> {
+        co_await site.scheduler().sleep_for(think);
+      });
+    };
+    std::printf("k=%-12d  %-12.3f\n", k, mean_latency_ms(std::move(p)));
+  }
+  std::printf("expected shape: monotone climb from the fastest member's latency to the "
+              "slowest member's\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ordering & acceptance latency shapes ===\n\n");
+  bench_ordering();
+  bench_acceptance();
+  return 0;
+}

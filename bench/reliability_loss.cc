@@ -1,0 +1,87 @@
+// Experiment B-reliability (DESIGN.md) -- what Reliable Communication and
+// Bounded Termination buy under message loss.
+//
+// Sweep the per-link drop probability and report, for three configurations,
+// the fraction of calls that complete OK and their mean latency:
+//
+//   bare      : no reliability, no bound  (calls hang when a message dies;
+//               completion measured with a 2s patience window)
+//   bounded   : no reliability, 250ms bound (calls fail fast, never hang)
+//   reliable  : retransmission, no bound  (every call completes; latency
+//               grows with loss as retransmissions kick in)
+//
+// Expected shape: 'bare' completion decays roughly like the probability all
+// of the 2*n messages survive; 'bounded' matches 'bare' completion but
+// bounds the damage; 'reliable' stays at 100% with rising tail latency.
+#include <cstdio>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace {
+
+using namespace ugrpc;
+using namespace ugrpc::core;
+
+constexpr OpId kOp{1};
+constexpr int kCalls = 60;
+
+struct Outcome {
+  double ok_fraction = 0;
+  double mean_ms = 0;
+};
+
+Outcome run(double drop, bool reliable, bool bounded, std::uint64_t seed) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = kAll;
+  p.config.reliable_communication = reliable;
+  p.config.retrans_timeout = sim::msec(30);
+  if (bounded) p.config.termination_bound = sim::msec(250);
+  p.faults.drop_prob = drop;
+  p.seed = seed;
+  Scenario s(std::move(p));
+  int ok = 0;
+  double total_ms = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (int i = 0; i < kCalls; ++i) {
+      const sim::Time t0 = s.scheduler().now();
+      // Patience window for configurations that can hang: run each call
+      // concurrently with a 2s alarm is not needed -- bounded configs
+      // return; bare configs would block forever, so bound the whole
+      // workload loop instead (run_client deadline below) and count what
+      // finished.
+      const CallResult r = co_await c.call(s.group(), kOp, Buffer{});
+      if (r.ok()) {
+        total_ms += sim::to_msec(s.scheduler().now() - t0);
+        ++ok;
+      }
+    }
+  }, sim::seconds(120));
+  Outcome out;
+  out.ok_fraction = static_cast<double>(ok) / kCalls;
+  out.mean_ms = ok > 0 ? total_ms / ok : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== B-reliability: completion and latency vs message loss ===\n");
+  std::printf("(3 servers, acceptance=ALL, %d sequential calls; 'bare' stops at the first "
+              "hung call)\n\n", kCalls);
+  std::printf("%-8s | %-20s | %-20s | %-20s\n", "loss", "bare ok%/ms", "bounded ok%/ms",
+              "reliable ok%/ms");
+  std::printf("---------+----------------------+----------------------+---------------------\n");
+  for (double drop : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const Outcome bare = run(drop, false, false, 21);
+    const Outcome bounded = run(drop, false, true, 21);
+    const Outcome reliable = run(drop, true, false, 21);
+    std::printf("%-8.2f | %6.1f%% / %-10.2f | %6.1f%% / %-10.2f | %6.1f%% / %-10.2f\n", drop,
+                bare.ok_fraction * 100, bare.mean_ms, bounded.ok_fraction * 100, bounded.mean_ms,
+                reliable.ok_fraction * 100, reliable.mean_ms);
+  }
+  std::printf("\nexpected shape: bare decays and wedges; bounded decays but always returns; "
+              "reliable holds 100%% with growing latency\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Replicated key-value store: group RPC as a fault-tolerance tool.
+//
+// A 3-way replicated KV store configured for strong guarantees: total order
+// (all replicas apply writes in the same sequence), unique execution (no
+// write applied twice), acceptance ALL (with membership, "all functioning
+// servers"), reliable communication.  Two clients issue interleaved
+// read-modify-write increments over a reordering, lossy network; one replica
+// crashes mid-stream.  The demonstration: the surviving replicas end with
+// identical state, and the crashed replica holds a consistent *prefix* of
+// the write sequence.
+//
+// What this configuration does NOT give -- by design, matching the paper --
+// is re-integration of a recovered replica into a total-order group: that
+// requires a state-transfer/agreement protocol the paper explicitly omits
+// ("for brevity this agreement phase has been omitted").  See DESIGN.md.
+//
+// Run:  build/examples/replicated_kv
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+#include "stub/stub.h"
+
+using namespace ugrpc;
+
+constexpr stub::Operation<std::pair<std::string, std::uint64_t>, std::uint64_t> kAdd{OpId{1},
+                                                                                     "add"};
+constexpr stub::Operation<std::string, std::uint64_t> kGet{OpId{2}, "get"};
+
+namespace {
+
+// One store per replica site, keyed by site id so recovery rebuilds against
+// the same (volatile) map -- lost state is re-derived from the write stream
+// the replica observes after recovery, which is fine for this demo because
+// the crashed replica misses writes and would diverge... except Unique
+// Execution + retransmission re-delivers everything it missed while down.
+std::map<std::uint32_t, std::map<std::string, std::uint64_t>> g_stores;
+
+void kv_app(core::UserProtocol& user, core::Site& site) {
+  auto dispatcher = std::make_shared<stub::Dispatcher>();
+  auto& store = g_stores[site.id().value()];
+  dispatcher->handle<std::pair<std::string, std::uint64_t>, std::uint64_t>(
+      kAdd, [&store](std::pair<std::string, std::uint64_t> kv) -> sim::Task<std::uint64_t> {
+        store[kv.first] += kv.second;
+        co_return store[kv.first];
+      });
+  dispatcher->handle<std::string, std::uint64_t>(
+      kGet, [&store](std::string key) -> sim::Task<std::uint64_t> {
+        auto it = store.find(key);
+        co_return it != store.end() ? it->second : 0;
+      });
+  stub::Dispatcher::install_owned(std::move(dispatcher), user);
+}
+
+}  // namespace
+
+int main() {
+  core::Config config;
+  config.acceptance_limit = core::kAll;
+  config.reliable_communication = true;
+  config.unique_execution = true;
+  config.retrans_timeout = sim::msec(40);
+  config.ordering = core::Ordering::kTotal;
+  config.use_membership = true;
+  config.membership_params = {sim::msec(15), sim::msec(120)};
+
+  core::ScenarioParams params;
+  params.num_servers = 3;
+  params.num_clients = 2;
+  params.config = config;
+  params.faults.min_delay = sim::usec(100);
+  params.faults.max_delay = sim::msec(10);
+  params.faults.drop_prob = 0.05;
+  params.seed = 7;
+  params.server_app = kv_app;
+  core::Scenario scenario(std::move(params));
+
+  std::printf("configuration: %s\n", scenario.server(0).grpc().config().describe().c_str());
+
+  const char* keys[] = {"apples", "pears"};
+  auto writer = [&](core::Client& client, int rounds) -> sim::Task<> {
+    for (int i = 0; i < rounds; ++i) {
+      std::pair<std::string, std::uint64_t> update{keys[i % 2], 1};
+      (void)co_await stub::invoke(client, scenario.group(), kAdd, std::move(update));
+      co_await scenario.scheduler().sleep_for(sim::msec(20));
+    }
+  };
+
+  // Crash replica 2 (a follower) mid-workload; it stays down.
+  scenario.scheduler().schedule_after(sim::msec(250), [&] {
+    std::printf("[%6.1f ms] crashing replica 2\n", sim::to_msec(scenario.scheduler().now()));
+    scenario.server(1).crash();
+  });
+
+  scenario.scheduler().spawn(writer(scenario.client(0), 25), scenario.client_site(0).domain());
+  scenario.scheduler().spawn(writer(scenario.client(1), 25), scenario.client_site(1).domain());
+  scenario.run_for(sim::seconds(60));
+
+  std::printf("\nreplica states after 50 increments from 2 clients + 1 crash:\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto& store = g_stores[core::Scenario::server_id(i).value()];
+    std::printf("  replica %d:", i + 1);
+    for (const auto& [k, v] : store) {
+      std::printf(" %s=%llu", k.c_str(), static_cast<unsigned long long>(v));
+    }
+    std::printf("%s\n", i == 1 ? "   (crashed mid-stream: consistent prefix)" : "");
+  }
+  const auto& a = g_stores[core::Scenario::server_id(0).value()];
+  const auto& b = g_stores[core::Scenario::server_id(2).value()];
+  const auto& crashed = g_stores[core::Scenario::server_id(1).value()];
+  const auto sum = [](const std::map<std::string, std::uint64_t>& m) {
+    std::uint64_t s = 0;
+    for (const auto& [k, v] : m) s += v;
+    return s;
+  };
+  const bool survivors_consistent = (a == b) && sum(a) == 50;
+  const bool prefix_ok = sum(crashed) <= sum(a);
+  std::printf("survivors %s (all 50 writes applied in one total order)\n",
+              survivors_consistent ? "CONSISTENT" : "DIVERGED");
+  std::printf("crashed replica holds %llu/%llu writes (prefix %s)\n",
+              static_cast<unsigned long long>(sum(crashed)),
+              static_cast<unsigned long long>(sum(a)), prefix_ok ? "ok" : "VIOLATED");
+  return survivors_consistent && prefix_ok ? 0 : 1;
+}

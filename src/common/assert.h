@@ -1,0 +1,23 @@
+// Lightweight contract checking for ugrpc.
+//
+// UGRPC_ASSERT is used for internal invariants: violations indicate a bug in
+// the library itself, so the process aborts with a diagnostic rather than
+// limping on with corrupted protocol state.  Checks are active in all build
+// types -- a protocol library whose invariants silently rot in release mode
+// is worse than a slightly slower one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ugrpc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ugrpc: assertion failed: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ugrpc
+
+#define UGRPC_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::ugrpc::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,75 @@
+#include "common/buffer.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ugrpc {
+
+void Writer::uint_le(std::uint64_t v, int width) {
+  for (int i = 0; i < width; ++i) {
+    out_.push_back(static_cast<std::byte>(v & 0xffu));
+    v >>= 8;
+  }
+}
+
+void Writer::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  append_bytes(s);
+}
+
+void Writer::append_bytes(std::string_view s) {
+  for (char c : s) out_.push_back(static_cast<std::byte>(c));
+}
+
+void Writer::raw(std::span<const std::byte> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  out_.append(data);
+}
+
+void Reader::require(std::size_t n) const {
+  if (remaining() < n) throw CodecError("ugrpc codec: truncated input");
+}
+
+std::uint8_t Reader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint64_t Reader::uint_le(int width) {
+  require(static_cast<std::size_t>(width));
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(width);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  require(len);
+  std::string s;
+  s.resize(len);
+  std::memcpy(s.data(), data_.data() + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Buffer Reader::raw() {
+  const std::uint32_t len = u32();
+  require(len);
+  Buffer b;
+  b.append(data_.subspan(pos_, len));
+  pos_ += len;
+  return b;
+}
+
+}  // namespace ugrpc

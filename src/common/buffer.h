@@ -1,0 +1,107 @@
+// Byte buffer plus a small, bounds-checked binary codec.
+//
+// The gRPC layer of the paper treats call arguments as "one continuous
+// untyped field that is copied to and from messages"; Buffer is that field.
+// Writer/Reader implement the wire codec used both for marshalling call
+// arguments (src/stub) and for serializing protocol messages (src/net).
+// Integers are encoded little-endian at fixed width; strings and nested
+// buffers are length-prefixed.  Reader throws CodecError on malformed input
+// rather than reading out of bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ugrpc {
+
+/// Error thrown by Reader when decoding runs past the end of the buffer or
+/// encounters an impossible length prefix.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An owned, growable sequence of bytes.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return bytes_; }
+
+  void append(std::span<const std::byte> data) { bytes_.insert(bytes_.end(), data.begin(), data.end()); }
+  void push_back(std::byte b) { bytes_.push_back(b); }
+  void clear() { bytes_.clear(); }
+
+  friend bool operator==(const Buffer&, const Buffer&) = default;
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Appends encoded values to a Buffer.
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { uint_le(v, 2); }
+  void u32(std::uint32_t v) { uint_le(v, 4); }
+  void u64(std::uint64_t v) { uint_le(v, 8); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed string.
+  void str(std::string_view s);
+  /// Length-prefixed raw bytes (e.g. a nested Buffer).
+  void raw(std::span<const std::byte> data);
+
+ private:
+  void uint_le(std::uint64_t v, int width);
+  void append_bytes(std::string_view s);
+
+  Buffer& out_;
+};
+
+/// Decodes values from a byte span, in the order Writer produced them.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+  explicit Reader(const Buffer& buf) : data_(buf.bytes()) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(uint_le(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(uint_le(4)); }
+  [[nodiscard]] std::uint64_t u64() { return uint_le(8); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Buffer raw();
+
+  /// Number of bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+ private:
+  std::uint64_t uint_le(int width);
+  void require(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ugrpc

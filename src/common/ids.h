@@ -1,0 +1,85 @@
+// Strongly-typed identifiers used throughout ugrpc.
+//
+// The paper's pseudocode traffics in bare ints for process ids, group ids,
+// call ids and incarnation numbers.  We wrap each in a distinct type so that
+// e.g. a CallId can never be passed where a ProcessId is expected; the wrappers
+// are trivially copyable and hash/compare like the underlying integer.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace ugrpc {
+
+namespace detail {
+
+// CRTP-free tagged integer.  `Tag` makes each instantiation a distinct type.
+template <typename Tag, typename Rep = std::uint64_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) { return os << id.value_; }
+
+ private:
+  Rep value_ = 0;
+};
+
+}  // namespace detail
+
+struct ProcessIdTag {};
+struct GroupIdTag {};
+struct CallIdTag {};
+struct OpIdTag {};
+struct ProtocolIdTag {};
+struct FiberIdTag {};
+struct TimerIdTag {};
+struct DomainIdTag {};
+
+/// Identifies one process (site) in the distributed system.
+using ProcessId = detail::TaggedId<ProcessIdTag, std::uint32_t>;
+/// Identifies a server group (a named set of processes).
+using GroupId = detail::TaggedId<GroupIdTag, std::uint32_t>;
+/// Identifies one remote procedure call issued by a client.  Carried in every
+/// Call/Reply/Ack message so requests and responses can be matched (paper
+/// section 4.2).  Call ids are assigned per-client and are monotonically
+/// increasing, which FIFO ordering relies on.
+using CallId = detail::TaggedId<CallIdTag, std::uint64_t>;
+/// Identifies the remote operation (procedure) being invoked.
+using OpId = detail::TaggedId<OpIdTag, std::uint32_t>;
+/// x-kernel style demultiplexing key: which protocol a packet belongs to.
+using ProtocolId = detail::TaggedId<ProtocolIdTag, std::uint16_t>;
+/// Identifies a simulated thread (fiber) managed by sim::Scheduler.
+using FiberId = detail::TaggedId<FiberIdTag, std::uint64_t>;
+/// Identifies a pending timer registration.
+using TimerId = detail::TaggedId<TimerIdTag, std::uint64_t>;
+/// Groups fibers/timers belonging to one crashable unit (a Site).
+using DomainId = detail::TaggedId<DomainIdTag, std::uint32_t>;
+
+/// Client incarnation number.  Incremented each time a site recovers from a
+/// crash; used by the orphan-handling micro-protocols to partition calls into
+/// generations (paper section 4.4.7).
+using Incarnation = std::uint32_t;
+
+}  // namespace ugrpc
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<ugrpc::detail::TaggedId<Tag, Rep>> {
+  size_t operator()(ugrpc::detail::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace std

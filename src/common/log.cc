@@ -1,0 +1,56 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace ugrpc {
+
+namespace {
+
+void default_sink(LogLevel level, std::string_view message) {
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::kTrace: name = "TRACE"; break;
+    case LogLevel::kDebug: name = "DEBUG"; break;
+    case LogLevel::kInfo: name = "INFO"; break;
+    case LogLevel::kWarn: name = "WARN"; break;
+    case LogLevel::kError: name = "ERROR"; break;
+  }
+  std::fprintf(stderr, "[ugrpc %-5s] %.*s\n", name, static_cast<int>(message.size()), message.data());
+}
+
+std::atomic<LogSink> g_sink{&default_sink};
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace
+
+LogSink set_log_sink(LogSink sink) {
+  return g_sink.exchange(sink != nullptr ? sink : &default_sink);
+}
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  char stack_buf[512];
+  std::va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, copy);
+  va_end(copy);
+  if (n < 0) return;
+  if (static_cast<std::size_t>(n) < sizeof(stack_buf)) {
+    g_sink.load()(level, std::string_view(stack_buf, static_cast<std::size_t>(n)));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(n) + 1, '\0');
+  std::vsnprintf(big.data(), big.size(), fmt, args);
+  g_sink.load()(level, std::string_view(big.data(), static_cast<std::size_t>(n)));
+}
+
+}  // namespace detail
+
+}  // namespace ugrpc

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// Protocol code logs through UGRPC_LOG(level, ...) with printf-style
+// formatting.  The sink is a process-global function pointer so tests can
+// capture or silence output; the default sink writes to stderr.  Logging is
+// deliberately synchronous and allocation-light: it is used inside the
+// deterministic simulator and must not perturb scheduling.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace ugrpc {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+using LogSink = void (*)(LogLevel, std::string_view message);
+
+/// Replaces the global log sink; returns the previous sink.  Passing nullptr
+/// restores the default stderr sink.
+LogSink set_log_sink(LogSink sink);
+
+/// Messages below this level are dropped before formatting.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+}
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+inline void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  detail::vlog(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace ugrpc
+
+#define UGRPC_LOG(level, ...) ::ugrpc::log(::ugrpc::LogLevel::level, __VA_ARGS__)

@@ -1,0 +1,32 @@
+// Call status codes shared by the client-side tables and the public API.
+#pragma once
+
+#include <string_view>
+
+namespace ugrpc {
+
+/// Return status of a remote call (paper section 4.2, `Status_type`).
+///
+/// - kWaiting: the call is still pending (internal state, never returned to
+///   the application by a completed synchronous call).
+/// - kOk: the acceptance condition was met; results are valid.
+/// - kTimeout: Bounded Termination expired before the acceptance condition
+///   was met.  Per the paper's failure-semantics discussion, no conclusion
+///   about execution is possible (unless Unique/Atomic Execution are
+///   configured, which bound *how* it may have executed).
+enum class Status : unsigned char {
+  kOk,
+  kWaiting,
+  kTimeout,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kWaiting: return "WAITING";
+    case Status::kTimeout: return "TIMEOUT";
+  }
+  return "<invalid>";
+}
+
+}  // namespace ugrpc

@@ -1,0 +1,117 @@
+#include "core/composite.h"
+
+#include "common/assert.h"
+#include "core/micro/acceptance.h"
+#include "core/micro/atomic_execution.h"
+#include "core/micro/bounded_termination.h"
+#include "core/micro/call_semantics.h"
+#include "core/micro/collation.h"
+#include "core/micro/fifo_order.h"
+#include "core/micro/interference_avoidance.h"
+#include "core/micro/reliable_communication.h"
+#include "core/micro/rpc_main.h"
+#include "core/micro/serial_execution.h"
+#include "core/micro/terminate_orphan.h"
+#include "core/micro/total_order.h"
+#include "core/micro/unique_execution.h"
+
+namespace ugrpc::core {
+
+namespace {
+
+DomainId domain_of(ProcessId p) { return DomainId{p.value()}; }
+
+}  // namespace
+
+GrpcComposite::GrpcComposite(sim::Scheduler& sched, net::Network& network,
+                             net::Endpoint& endpoint, ProcessId my_id,
+                             storage::StableStore& stable, UserProtocol& user,
+                             const Config& config, std::set<ProcessId> known)
+    : runtime::CompositeProtocol(sched, domain_of(my_id)), config_(config),
+      state_(sched, network, endpoint, my_id), endpoint_(endpoint), stable_(stable) {
+  UGRPC_ASSERT((config_.unsafe_skip_validation || is_valid(config_)) &&
+               "configuration violates the dependency graph");
+  state_.user = &user;
+  state_.members = std::move(known);
+  define_grpc_events(framework());
+  assemble();
+  start();
+  // UPI "demux from below": decode and run the MSG_FROM_NETWORK chain.  The
+  // network spawns one fiber per delivered packet in this site's domain.
+  endpoint_.set_handler(kGrpcProto, [this](net::Packet pkt) -> sim::Task<> {
+    net::NetMessage msg = net::NetMessage::decode(pkt.payload);
+    co_await framework().trigger(kMsgFromNetwork, runtime::EventArg::ref(msg));
+  });
+}
+
+void GrpcComposite::assemble() {
+  // Assembly order matters in two places: (a) orphan handling must register
+  // its execution guard before Serial Execution's (so fibers blocked on the
+  // serial token are already tracked), and (b) handler priorities -- not
+  // registration order -- encode the paper's per-event sequencing, so the
+  // rest is free.
+  emplace<RpcMain>(state_);
+  switch (config_.call) {
+    case CallSemantics::kSynchronous: emplace<SynchronousCall>(state_); break;
+    case CallSemantics::kAsynchronous: emplace<AsynchronousCall>(state_); break;
+  }
+  if (config_.reliable_communication) {
+    reliable_ = &emplace<ReliableCommunication>(state_, config_.retrans_timeout);
+  }
+  if (config_.termination_bound.has_value()) {
+    bounded_ = &emplace<BoundedTermination>(state_, *config_.termination_bound);
+  }
+  CollationFn fold = config_.collation ? config_.collation : last_reply_collation();
+  emplace<Collation>(state_, std::move(fold), config_.collation_init);
+  if (config_.unique_execution) {
+    unique_ = &emplace<UniqueExecution>(state_);
+  }
+  switch (config_.orphan) {
+    case OrphanHandling::kIgnore: break;
+    case OrphanHandling::kInterferenceAvoidance:
+      interference_ = &emplace<InterferenceAvoidance>(state_);
+      break;
+    case OrphanHandling::kTerminateOrphans:
+      terminator_ = &emplace<TerminateOrphan>(state_);
+      break;
+  }
+  if (config_.execution != ExecutionMode::kPlain) {
+    emplace<SerialExecution>(state_);
+  }
+  if (config_.execution == ExecutionMode::kSerialAtomic) {
+    atomic_ = &emplace<AtomicExecution>(state_, stable_);
+  }
+  emplace<Acceptance>(state_, config_.acceptance_limit);
+  switch (config_.ordering) {
+    case Ordering::kNone: break;
+    case Ordering::kFifo: fifo_ = &emplace<FifoOrder>(state_); break;
+    case Ordering::kTotal: {
+      TotalOrderOptions options;
+      options.agreement = config_.total_order_agreement;
+      options.agreement_timeout = config_.total_order_agreement_timeout;
+      total_ = &emplace<TotalOrder>(state_, config_.group, options);
+      break;
+    }
+  }
+}
+
+sim::Task<> GrpcComposite::submit(UserMessage& umsg) {
+  co_await framework().trigger(kCallFromUser, runtime::EventArg::ref(umsg));
+}
+
+sim::Task<> GrpcComposite::signal_recovery(Incarnation inc) {
+  RecoveryEvent ev{inc};
+  co_await framework().trigger(kRecovery, runtime::EventArg::ref(ev));
+}
+
+sim::Task<> GrpcComposite::notify_membership(ProcessId who, membership::Change change) {
+  if (change == membership::Change::kFailure) {
+    state_.members.erase(who);
+  } else {
+    state_.members.insert(who);
+  }
+  MembershipEvent ev{who, change};
+  co_await framework().trigger(kMembershipChange, runtime::EventArg::ref(ev));
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,83 @@
+// The gRPC composite protocol: framework + shared state + configured
+// micro-protocols, exporting the x-kernel-style interface
+// (push from the user above, pop from the network below).
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/config.h"
+#include "core/events.h"
+#include "core/grpc_state.h"
+#include "core/user_protocol.h"
+#include "net/network.h"
+#include "runtime/composite.h"
+#include "storage/stable_store.h"
+
+namespace ugrpc::core {
+
+class RpcMain;
+class ReliableCommunication;
+class BoundedTermination;
+class UniqueExecution;
+class AtomicExecution;
+class FifoOrder;
+class TotalOrder;
+class InterferenceAvoidance;
+class TerminateOrphan;
+
+class GrpcComposite : public runtime::CompositeProtocol {
+ public:
+  /// Builds, wires and starts a composite realizing `config`.  `known`
+  /// initializes the live-member set (without a membership service it stays
+  /// constant, per the paper).  The caller must have validated the config
+  /// (asserted here).
+  GrpcComposite(sim::Scheduler& sched, net::Network& network, net::Endpoint& endpoint,
+                ProcessId my_id, storage::StableStore& stable, UserProtocol& user,
+                const Config& config, std::set<ProcessId> known);
+
+  /// Entry point from the user protocol (UPI push): runs the
+  /// CALL_FROM_USER event chain in the calling fiber.  With Synchronous Call
+  /// configured this blocks until the call completes or times out.
+  [[nodiscard]] sim::Task<> submit(UserMessage& umsg);
+
+  /// To be called after recovery: runs the RECOVERY event chain.
+  [[nodiscard]] sim::Task<> signal_recovery(Incarnation inc);
+
+  /// Membership change notification: updates the shared member set and runs
+  /// the MEMBERSHIP_CHANGE event chain.
+  [[nodiscard]] sim::Task<> notify_membership(ProcessId who, membership::Change change);
+
+  [[nodiscard]] GrpcState& state() { return state_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // Typed access to optional micro-protocols (nullptr when not configured);
+  // used by tests and benchmarks for observability.
+  [[nodiscard]] ReliableCommunication* reliable() { return reliable_; }
+  [[nodiscard]] BoundedTermination* bounded() { return bounded_; }
+  [[nodiscard]] UniqueExecution* unique() { return unique_; }
+  [[nodiscard]] AtomicExecution* atomic() { return atomic_; }
+  [[nodiscard]] FifoOrder* fifo() { return fifo_; }
+  [[nodiscard]] TotalOrder* total() { return total_; }
+  [[nodiscard]] InterferenceAvoidance* interference() { return interference_; }
+  [[nodiscard]] TerminateOrphan* terminator() { return terminator_; }
+
+ private:
+  void assemble();
+
+  Config config_;
+  GrpcState state_;
+  net::Endpoint& endpoint_;
+  storage::StableStore& stable_;
+
+  ReliableCommunication* reliable_ = nullptr;
+  BoundedTermination* bounded_ = nullptr;
+  UniqueExecution* unique_ = nullptr;
+  AtomicExecution* atomic_ = nullptr;
+  FifoOrder* fifo_ = nullptr;
+  TotalOrder* total_ = nullptr;
+  InterferenceAvoidance* interference_ = nullptr;
+  TerminateOrphan* terminator_ = nullptr;
+};
+
+}  // namespace ugrpc::core

@@ -1,0 +1,151 @@
+#include "core/config.h"
+
+#include <array>
+
+namespace ugrpc::core {
+
+std::string_view to_string(CallSemantics v) {
+  switch (v) {
+    case CallSemantics::kSynchronous: return "sync";
+    case CallSemantics::kAsynchronous: return "async";
+  }
+  return "<invalid>";
+}
+
+std::string_view to_string(OrphanHandling v) {
+  switch (v) {
+    case OrphanHandling::kIgnore: return "ignore-orphans";
+    case OrphanHandling::kInterferenceAvoidance: return "interference-avoidance";
+    case OrphanHandling::kTerminateOrphans: return "terminate-orphans";
+  }
+  return "<invalid>";
+}
+
+std::string_view to_string(ExecutionMode v) {
+  switch (v) {
+    case ExecutionMode::kPlain: return "plain";
+    case ExecutionMode::kSerial: return "serial";
+    case ExecutionMode::kSerialAtomic: return "serial+atomic";
+  }
+  return "<invalid>";
+}
+
+std::string_view to_string(Ordering v) {
+  switch (v) {
+    case Ordering::kNone: return "no-order";
+    case Ordering::kFifo: return "fifo";
+    case Ordering::kTotal: return "total";
+  }
+  return "<invalid>";
+}
+
+std::string Config::describe() const {
+  std::string s;
+  s += to_string(call);
+  s += '|';
+  s += to_string(orphan);
+  s += '|';
+  s += to_string(execution);
+  s += '|';
+  s += unique_execution ? "unique" : "non-unique";
+  s += '|';
+  s += reliable_communication ? "reliable" : "unreliable";
+  s += '|';
+  s += to_string(ordering);
+  s += '|';
+  s += termination_bound.has_value() ? "bounded" : "unbounded";
+  return s;
+}
+
+std::vector<ValidationError> validate(const Config& config) {
+  std::vector<ValidationError> errors;
+  const auto fail = [&errors](std::string rule, std::string message) {
+    errors.push_back(ValidationError{std::move(rule), std::move(message)});
+  };
+
+  // Edges of paper Figure 4 (see DESIGN.md for the derivation of the set).
+  if (config.unique_execution && !config.reliable_communication) {
+    fail("UniqueExecution->ReliableCommunication",
+         "unique execution's acknowledge/retransmit bookkeeping presumes reliable "
+         "communication at the RPC layer");
+  }
+  if (config.ordering == Ordering::kFifo && !config.reliable_communication) {
+    fail("FifoOrder->ReliableCommunication",
+         "FIFO ordering requires every server to receive the client's messages");
+  }
+  if (config.ordering == Ordering::kTotal) {
+    if (!config.reliable_communication) {
+      fail("TotalOrder->ReliableCommunication",
+           "total ordering requires every server to receive the same message set");
+    }
+    if (!config.unique_execution) {
+      fail("TotalOrder->UniqueExecution",
+           "the total order implementation assumes any request is received at the "
+           "server only once (paper section 5)");
+    }
+    if (config.termination_bound.has_value()) {
+      fail("TotalOrder-x-BoundedTermination",
+           "total order assumes bounded termination is not present (paper section "
+           "4.4.6): a timed-out call would leave a hole in the execution order");
+    }
+  }
+  if (config.acceptance_limit < 1) {
+    fail("Acceptance.limit", "the acceptance limit must be at least 1");
+  }
+  if (config.retrans_timeout <= 0 && config.reliable_communication) {
+    fail("ReliableCommunication.timeout", "the retransmission timeout must be positive");
+  }
+  if (config.termination_bound.has_value() && *config.termination_bound <= 0) {
+    fail("BoundedTermination.bound", "the termination bound must be positive");
+  }
+  return errors;
+}
+
+bool is_valid(const Config& config) { return validate(config).empty(); }
+
+std::vector<Config> enumerate_valid_configs() {
+  std::vector<Config> out;
+  constexpr std::array kCalls{CallSemantics::kSynchronous, CallSemantics::kAsynchronous};
+  constexpr std::array kOrphans{OrphanHandling::kIgnore, OrphanHandling::kInterferenceAvoidance,
+                                OrphanHandling::kTerminateOrphans};
+  constexpr std::array kExecs{ExecutionMode::kPlain, ExecutionMode::kSerial,
+                              ExecutionMode::kSerialAtomic};
+  constexpr std::array kOrders{Ordering::kNone, Ordering::kFifo, Ordering::kTotal};
+  for (CallSemantics call : kCalls) {
+    for (OrphanHandling orphan : kOrphans) {
+      for (ExecutionMode exec : kExecs) {
+        for (bool unique : {false, true}) {
+          for (bool reliable : {false, true}) {
+            for (bool bounded : {false, true}) {
+              for (Ordering ordering : kOrders) {
+                Config c;
+                c.call = call;
+                c.orphan = orphan;
+                c.execution = exec;
+                c.unique_execution = unique;
+                c.reliable_communication = reliable;
+                if (bounded) c.termination_bound = sim::seconds(1);
+                c.ordering = ordering;
+                if (is_valid(c)) out.push_back(std::move(c));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ConfigSpace config_space() {
+  ConfigSpace space;
+  space.call_variants = 2;
+  space.orphan_variants = 3;
+  space.execution_variants = 3;
+  space.total = static_cast<int>(enumerate_valid_configs().size());
+  space.comm_combinations =
+      space.total / (space.call_variants * space.orphan_variants * space.execution_variants);
+  return space;
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,14 @@
+#include "core/events.h"
+
+namespace ugrpc::core {
+
+void define_grpc_events(runtime::Framework& fw) {
+  fw.define_event(kCallFromUser, "CALL_FROM_USER");
+  fw.define_event(kNewRpcCall, "NEW_RPC_CALL");
+  fw.define_event(kReplyFromServer, "REPLY_FROM_SERVER");
+  fw.define_event(kMsgFromNetwork, "MSG_FROM_NETWORK");
+  fw.define_event(kRecovery, "RECOVERY");
+  fw.define_event(kMembershipChange, "MEMBERSHIP_CHANGE");
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,207 @@
+// Shared data of the gRPC composite protocol (paper section 4.2).
+//
+// The framework "supports shared data (e.g., messages) that can be accessed
+// by the micro-protocols configured into the framework".  GrpcState is that
+// shared data: the client-side pending-call table (pRPC), the server-side
+// table (sRPC), the HOLD readiness array, the live-member set, the serial
+// semaphore, and handles to the neighbouring protocols (the network below,
+// the user protocol above).
+//
+// Call-id scheme: the paper indexes both tables by a bare integer call id
+// assigned per client.  With multiple clients those ids would collide at the
+// servers, so we make ids globally unique by packing the client's process id
+// into the high bits and a per-client sequence number into the low bits.
+// Low bits increment by one per call, preserving the consecutive-id
+// assumption FIFO Order relies on (next expected id = id + 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+
+namespace ugrpc::core {
+
+/// Demux key of the gRPC composite on the network fabric.
+inline constexpr ProtocolId kGrpcProto{1};
+
+// ---- globally unique call ids ----
+
+inline constexpr int kCallSeqBits = 40;
+/// Within the 40-bit sequence space, the high bits carry the client's
+/// incarnation so a recovered client never reuses the ids of its orphaned
+/// calls.  (The paper's per-client `next_id` is volatile and restarts at the
+/// same value after a crash; with Unique Execution configured the reused id
+/// would make the server treat the recovered client's new call as a
+/// duplicate of the orphan and answer it with the orphan's result.  See
+/// DESIGN.md.)  Ids stay consecutive within one incarnation, which FIFO
+/// Order relies on.
+inline constexpr int kIncarnationShift = 28;
+
+[[nodiscard]] constexpr std::uint64_t first_seq_of_incarnation(Incarnation inc) {
+  return (static_cast<std::uint64_t>(inc) << kIncarnationShift) + 1;
+}
+
+[[nodiscard]] constexpr CallId make_call_id(ProcessId client, std::uint64_t seq) {
+  return CallId{(static_cast<std::uint64_t>(client.value()) << kCallSeqBits) | seq};
+}
+[[nodiscard]] constexpr std::uint64_t call_seq(CallId id) {
+  return id.value() & ((std::uint64_t{1} << kCallSeqBits) - 1);
+}
+[[nodiscard]] constexpr ProcessId call_client(CallId id) {
+  return ProcessId{static_cast<std::uint32_t>(id.value() >> kCallSeqBits)};
+}
+/// The next call id issued by the same client (consecutive low bits).
+[[nodiscard]] constexpr CallId next_call_id(CallId id) { return CallId{id.value() + 1}; }
+
+// ---- HOLD array ----
+
+/// Indices into the HOLD/hold readiness arrays.  HOLD[i] is set by a
+/// micro-protocol that wants to gate execution; a call executes only when
+/// its per-call hold array matches HOLD (paper section 4.2).
+enum HoldIndex : std::size_t {
+  kHoldMain = 0,
+  kHoldFifo = 1,
+  kHoldTotal = 2,
+  kHoldCount = 3,
+};
+
+using HoldArray = std::array<bool, kHoldCount>;
+
+// ---- client-side table (pRPC) ----
+
+/// Per-server response bookkeeping (`waiting_list` in the paper).
+struct PendingServer {
+  bool acked = false;  ///< Reliable Communication: call receipt acknowledged
+  bool done = false;   ///< Acceptance: response received (or server failed)
+};
+
+struct ClientRecord {
+  ClientRecord(sim::Scheduler& sched, CallId id_, OpId op_, Buffer args_, GroupId server_)
+      : id(id_), op(op_), args(args_), request_args(std::move(args_)), server(server_),
+        sem(sched, 0) {}
+
+  CallId id;
+  OpId op;
+  Buffer args;          ///< result accumulator (Collation overwrites this)
+  /// Immutable copy of the marshalled request.  The paper stores only one
+  /// `args` field, which Collation overwrites at NEW_RPC_CALL -- Reliable
+  /// Communication would then retransmit the accumulator instead of the
+  /// request.  Keeping the request separately fixes that (see DESIGN.md).
+  Buffer request_args;
+  GroupId server;
+  sim::Semaphore sem;  ///< client thread blocks here until the call completes
+  int nres = 0;        ///< responses still required (Acceptance)
+  std::map<ProcessId, PendingServer> pending;  ///< servers yet to respond
+  Status status = Status::kWaiting;
+};
+
+// ---- server-side table (sRPC) ----
+
+struct ServerRecord {
+  CallId id;
+  OpId op;
+  Buffer args;      ///< request args; overwritten with results by the procedure
+  GroupId server;
+  ProcessId client;
+  Incarnation client_inc = 0;
+  HoldArray hold{};  ///< which gating properties have been satisfied
+};
+
+// ---- checkpoint participation (Atomic Execution) ----
+
+/// Micro-protocols with volatile state that must survive a crash for the
+/// configured semantics to hold across recovery (e.g. Unique Execution's
+/// duplicate tables) register themselves here; Atomic Execution includes
+/// them in every checkpoint.
+class CheckpointParticipant {
+ public:
+  virtual ~CheckpointParticipant() = default;
+  virtual void encode_state(Writer& w) const = 0;
+  virtual void decode_state(Reader& r) = 0;
+};
+
+class UserProtocol;  // defined in user_protocol.h
+
+/// The shared data structure hosted by the gRPC framework.
+struct GrpcState {
+  GrpcState(sim::Scheduler& sched_, net::Network& network_, net::Endpoint& endpoint_,
+            ProcessId my_id_)
+      : sched(sched_), network(network_), endpoint(endpoint_), my_id(my_id_),
+        pRPC_mutex(sched_), sRPC_mutex(sched_), serial(sched_, 1) {}
+
+  sim::Scheduler& sched;
+  net::Network& network;
+  net::Endpoint& endpoint;
+  ProcessId my_id;
+  Incarnation inc_number = 1;   ///< this site's current incarnation
+  std::uint64_t next_seq = 1;   ///< per-client call sequence counter
+
+  // Client side.
+  std::map<CallId, std::shared_ptr<ClientRecord>> pRPC;
+  sim::Mutex pRPC_mutex;
+
+  // Server side.
+  std::map<CallId, std::shared_ptr<ServerRecord>> sRPC;
+  sim::Mutex sRPC_mutex;
+  HoldArray HOLD{};
+
+  /// Live members, maintained by the composite from MEMBERSHIP_CHANGE
+  /// events; without a membership service it stays as initialized (the
+  /// paper: "the set Members will remain constant").
+  std::set<ProcessId> members;
+
+  /// Serial Execution's semaphore, plus the fiber currently holding it (used
+  /// by Terminate Orphan to release the token of a killed thread).
+  sim::Semaphore serial;
+  std::optional<FiberId> serial_holder;
+
+  /// Hooks awaited by RPC Main immediately before executing a call (after
+  /// all HOLD gates are satisfied).  See serial_execution.h for why the
+  /// serial gate lives here rather than at message arrival.
+  std::vector<std::function<sim::Task<>(CallId)>> before_execute;
+
+  /// Checkpoint participants (see above).
+  std::vector<CheckpointParticipant*> checkpoint_participants;
+
+  /// RPC Main's exported forward_up procedure (set in RpcMain::start); the
+  /// ordering micro-protocols call it to release held calls.
+  std::function<sim::Task<>(CallId, HoldIndex)> forward_up;
+
+  /// The user protocol above gRPC (server procedure entry point).
+  UserProtocol* user = nullptr;
+
+  // ---- helpers ----
+
+  [[nodiscard]] std::shared_ptr<ClientRecord> find_client(CallId id) const {
+    auto it = pRPC.find(id);
+    return it != pRPC.end() ? it->second : nullptr;
+  }
+  [[nodiscard]] std::shared_ptr<ServerRecord> find_server(CallId id) const {
+    auto it = sRPC.find(id);
+    return it != sRPC.end() ? it->second : nullptr;
+  }
+
+  /// Sends a gRPC message point-to-point (Net.push in the paper).
+  void net_push(ProcessId dest, const net::NetMessage& msg) {
+    endpoint.send(dest, kGrpcProto, msg.encode());
+  }
+  /// Multicast to a server group (Net.push with a group destination).
+  void net_multicast(GroupId group, const net::NetMessage& msg) {
+    endpoint.multicast(group, kGrpcProto, msg.encode());
+  }
+};
+
+}  // namespace ugrpc::core

@@ -1,0 +1,84 @@
+#include "core/micro/acceptance.h"
+
+#include <algorithm>
+
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void Acceptance::start(runtime::Framework& fw) {
+  fw.register_handler(kNewRpcCall, "Acceptance.handle_new_call", kPrioNewAcceptance,
+                      [this](runtime::EventContext& ctx) { return handle_new_call(ctx); });
+  fw.register_handler(kMsgFromNetwork, "Acceptance.msg_from_net", kPrioNetAcceptance,
+                      [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
+  fw.register_handler(kMembershipChange, "Acceptance.server_failure",
+                      [this](runtime::EventContext& ctx) { return server_failure(ctx); });
+}
+
+sim::Task<> Acceptance::handle_new_call(runtime::EventContext& ctx) {
+  auto rec = state_.find_client(ctx.arg_as<CallEvent>().id);
+  if (rec == nullptr) co_return;
+  int alive = 0;
+  for (auto& [p, ps] : rec->pending) {
+    if (state_.members.contains(p)) {
+      ps.done = false;
+      ++alive;
+    } else {
+      ps.done = true;  // known-failed members are not waited for
+    }
+  }
+  rec->nres = std::min(limit_, alive);
+  co_return;
+}
+
+void Acceptance::complete(ClientRecord& rec) {
+  // Guarded on WAITING so late extra replies cannot V the semaphore twice
+  // (deviation from the paper's unconditional V; see DESIGN.md).
+  if (rec.status == Status::kWaiting) {
+    rec.status = Status::kOk;
+    rec.sem.release();
+  }
+}
+
+sim::Task<> Acceptance::msg_from_net(runtime::EventContext& ctx) {
+  const auto& msg = ctx.arg_as<net::NetMessage>();
+  if (msg.type != net::MsgType::kReply) co_return;
+  auto rec = state_.find_client(msg.id);
+  if (rec == nullptr) co_return;
+  auto it = rec->pending.find(msg.sender);
+  if (it == rec->pending.end()) co_return;  // reply from a non-member: ignore
+  if (!it->second.done) {
+    it->second.done = true;
+    if (--rec->nres <= 0) complete(*rec);
+  } else {
+    ctx.cancel();  // duplicate reply: nothing further should process it
+  }
+  co_return;
+}
+
+sim::Task<> Acceptance::server_failure(runtime::EventContext& ctx) {
+  const auto& ev = ctx.arg_as<MembershipEvent>();
+  if (ev.change != membership::Change::kFailure) co_return;
+  // A failed server will not respond: stop waiting for it on every pending
+  // call.  Deviation from the paper, which decrements nres as if the failure
+  // were a response -- under that reading a k=1 call "succeeds" with zero
+  // replies as soon as any server fails.  Instead we clamp nres to the
+  // number of responses still possible, which matches the paper's intent
+  // for acceptance=ALL ("settle for the responses from all servers that are
+  // still functioning") and keeps k-of-n waiting for k real replies while
+  // k are still possible.
+  for (auto& [id, rec] : state_.pRPC) {
+    auto it = rec->pending.find(ev.who);
+    if (it == rec->pending.end() || it->second.done) continue;
+    it->second.done = true;
+    int remaining = 0;
+    for (const auto& [p, ps] : rec->pending) {
+      if (!ps.done) ++remaining;
+    }
+    rec->nres = std::min(rec->nres, remaining);
+    if (rec->nres <= 0) complete(*rec);
+  }
+  co_return;
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,31 @@
+#include "core/micro/bounded_termination.h"
+
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void BoundedTermination::start(runtime::Framework& fw) {
+  fw.register_handler(kNewRpcCall, "BoundedTerm.handle_new_call", kPrioNewBounded,
+                      [this, &fw](runtime::EventContext& ctx) -> sim::Task<> {
+                        // One one-shot deadline per call.  The paper keeps a
+                        // FIFO queue drained by a single handler; arming a
+                        // timer that captures the id is equivalent (timeouts
+                        // fire in registration order for equal deadlines).
+                        const CallId id = ctx.arg_as<CallEvent>().id;
+                        fw.register_timeout("BoundedTerm.handle_timeout", timebound_,
+                                            [this, id]() { return handle_timeout(id); });
+                        co_return;
+                      });
+}
+
+sim::Task<> BoundedTermination::handle_timeout(CallId id) {
+  auto guard = co_await state_.pRPC_mutex.lock();
+  auto rec = state_.find_client(id);
+  if (rec != nullptr && rec->status == Status::kWaiting) {
+    rec->status = Status::kTimeout;
+    ++timeouts_fired_;
+    rec->sem.release();
+  }
+}
+
+}  // namespace ugrpc::core

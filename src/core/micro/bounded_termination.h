@@ -1,0 +1,35 @@
+// Bounded Termination micro-protocol (paper section 4.4.3).
+//
+// Guarantees that every call returns to the client within `timebound`: when
+// the deadline fires and the call is still WAITING, its status becomes
+// TIMEOUT and the blocked client thread is released.  (Deviation from the
+// paper's pseudocode, which V's unconditionally: we only time out calls
+// still WAITING, so a call that completed but whose thread has not yet run
+// does not get a spurious second V.)
+#pragma once
+
+#include "core/events.h"
+#include "core/grpc_state.h"
+#include "runtime/micro_protocol.h"
+#include "sim/time.h"
+
+namespace ugrpc::core {
+
+class BoundedTermination : public runtime::MicroProtocol {
+ public:
+  BoundedTermination(GrpcState& state, sim::Duration timebound)
+      : MicroProtocol("Bounded Termination"), state_(state), timebound_(timebound) {}
+
+  void start(runtime::Framework& fw) override;
+
+  [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_fired_; }
+
+ private:
+  [[nodiscard]] sim::Task<> handle_timeout(CallId id);
+
+  GrpcState& state_;
+  sim::Duration timebound_;
+  std::uint64_t timeouts_fired_ = 0;
+};
+
+}  // namespace ugrpc::core

@@ -1,0 +1,40 @@
+#include "core/micro/call_semantics.h"
+
+namespace ugrpc::core {
+
+namespace {
+
+/// Shared wait-and-collect path: P on the call's semaphore, copy results and
+/// status into the user message, drop the record.
+sim::Task<> await_completion(GrpcState& state, UserMessage& umsg) {
+  auto rec = state.find_client(umsg.id);
+  if (rec == nullptr) co_return;  // unknown or already collected
+  co_await rec->sem.acquire();
+  umsg.args = rec->args;
+  umsg.status = rec->status;
+  auto guard = co_await state.pRPC_mutex.lock();
+  auto it = state.pRPC.find(umsg.id);
+  if (it != state.pRPC.end() && it->second == rec) state.pRPC.erase(it);
+}
+
+}  // namespace
+
+void SynchronousCall::start(runtime::Framework& fw) {
+  // Default (lowest) priority: runs after RPC Main has created the record
+  // and sent the call, exactly as in the paper.
+  fw.register_handler(kCallFromUser, "SynchronousCall.msg_from_user",
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        auto& umsg = ctx.arg_as<UserMessage>();
+                        if (umsg.type == UserOp::kCall) co_await await_completion(state_, umsg);
+                      });
+}
+
+void AsynchronousCall::start(runtime::Framework& fw) {
+  fw.register_handler(kCallFromUser, "AsynchronousCall.msg_from_user",
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        auto& umsg = ctx.arg_as<UserMessage>();
+                        if (umsg.type == UserOp::kRequest) co_await await_completion(state_, umsg);
+                      });
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,45 @@
+// Collation micro-protocol (paper section 4.4.4).
+//
+// Folds the replies of the group members into one result with a
+// user-supplied accumulation function: "any of these alternatives can be
+// described as a function, so we take the general approach of having the
+// user provide the desired collation function at initialization time."
+//
+// Deviation (see priorities.h note 1): collation runs *before* Acceptance on
+// each Reply and folds only replies that Acceptance has not yet counted, so
+// (a) the client never wakes before its final reply is folded, and (b) a
+// duplicated Reply is folded at most once.
+#pragma once
+
+#include <functional>
+
+#include "core/events.h"
+#include "core/grpc_state.h"
+#include "runtime/micro_protocol.h"
+
+namespace ugrpc::core {
+
+/// Folds an accumulated value and one server's reply into a new accumulated
+/// value.  `acc` starts as the configured initial value.
+using CollationFn = std::function<Buffer(const Buffer& acc, const Buffer& reply)>;
+
+/// The paper's example collation: the identity on the second argument, i.e.
+/// "last reply wins".
+[[nodiscard]] inline CollationFn last_reply_collation() {
+  return [](const Buffer&, const Buffer& reply) { return reply; };
+}
+
+class Collation : public runtime::MicroProtocol {
+ public:
+  Collation(GrpcState& state, CollationFn fn, Buffer init)
+      : MicroProtocol("Collation"), state_(state), fn_(std::move(fn)), init_(std::move(init)) {}
+
+  void start(runtime::Framework& fw) override;
+
+ private:
+  GrpcState& state_;
+  CollationFn fn_;
+  Buffer init_;
+};
+
+}  // namespace ugrpc::core

@@ -1,0 +1,84 @@
+#include "core/micro/fifo_order.h"
+
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void FifoOrder::encode_state(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(in_progress_.size()));
+  for (const auto& [client, info] : in_progress_) {
+    w.u32(client.value());
+    w.u32(info.inc);
+    w.u64(info.next.value());
+  }
+}
+
+void FifoOrder::decode_state(Reader& r) {
+  in_progress_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId client{r.u32()};
+    InProgress info;
+    info.inc = r.u32();
+    info.next = CallId{r.u64()};
+    in_progress_.emplace(client, info);
+  }
+}
+
+void FifoOrder::start(runtime::Framework& fw) {
+  state_.HOLD[kHoldFifo] = true;
+  state_.checkpoint_participants.push_back(this);
+  fw.register_handler(kMsgFromNetwork, "FifoOrder.msg_from_net", kPrioNetOrderDeliver,
+                      [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
+  fw.register_handler(kReplyFromServer, "FifoOrder.mark_executed", kPrioReplyOrderMark,
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        // Advance the client's stream position before the
+                        // Atomic checkpoint runs; see priorities.h.
+                        const CallId id = ctx.arg_as<CallEvent>().id;
+                        if (auto rec = state_.find_server(id)) {
+                          auto it = in_progress_.find(rec->client);
+                          if (it != in_progress_.end()) {
+                            const CallId next = next_call_id(id);
+                            if (next.value() > it->second.next.value()) it->second.next = next;
+                          }
+                        }
+                        co_return;
+                      });
+  fw.register_handler(kReplyFromServer, "FifoOrder.handle_reply", kPrioReplyOrder,
+                      [this](runtime::EventContext& ctx) { return handle_reply(ctx); });
+}
+
+sim::Task<> FifoOrder::msg_from_net(runtime::EventContext& ctx) {
+  const auto& msg = ctx.arg_as<net::NetMessage>();
+  if (msg.type != net::MsgType::kCall) co_return;
+  auto [it, inserted] = in_progress_.try_emplace(msg.sender, InProgress{msg.inc, msg.id});
+  InProgress& info = it->second;
+  if (!inserted) {
+    if (info.inc > msg.inc || (info.inc == msg.inc && msg.id < info.next)) {
+      // Stale: an orphaned incarnation or an id already executed here.
+      ++stale_dropped_;
+      ctx.cancel();
+      auto srec = state_.sRPC.find(msg.id);
+      if (srec != state_.sRPC.end()) state_.sRPC.erase(srec);
+      co_return;
+    }
+    if (info.inc < msg.inc) {
+      // New client incarnation: restart the stream at its first-seen id.
+      info = InProgress{msg.inc, msg.id};
+    }
+  }
+  if (msg.id == info.next) {
+    co_await state_.forward_up(msg.id, kHoldFifo);
+  }
+}
+
+sim::Task<> FifoOrder::handle_reply(runtime::EventContext& ctx) {
+  // The stream position was advanced by mark_executed; release the
+  // successor if it has already arrived.
+  const CallId next = next_call_id(ctx.arg_as<CallEvent>().id);
+  if (state_.sRPC.contains(next)) {
+    co_await state_.forward_up(next, kHoldFifo);
+  }
+}
+
+}  // namespace ugrpc::core

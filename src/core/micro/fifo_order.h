@@ -1,0 +1,55 @@
+// FIFO Order micro-protocol (paper section 4.4.6).
+//
+// Guarantees that the calls of any one client are executed in the same
+// (issue) order at every server.  Implementation: a HOLD gate; a call is
+// released only when its id is the next expected id of its client, and the
+// reply handler releases the successor if it has already arrived.  The next
+// expected id is initialized to the first id seen from a client (or
+// incarnation), so a server that joins mid-stream (e.g. after recovery)
+// starts from the stream position it can observe -- later calls are ordered,
+// earlier ones are dropped as stale, which preserves the relative-order
+// guarantee (execution sequences are subsequences of the issue order).
+//
+// Per the paper, FIFO Order deliberately allows duplicate and concurrent
+// execution -- combine with Unique/Serial Execution to remove those.
+// Depends on Reliable Communication (every server must receive the set of
+// messages; paper Figure 2/4).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/events.h"
+#include "core/grpc_state.h"
+#include "runtime/micro_protocol.h"
+
+namespace ugrpc::core {
+
+class FifoOrder : public runtime::MicroProtocol, public CheckpointParticipant {
+ public:
+  explicit FifoOrder(GrpcState& state) : MicroProtocol("FIFO Order"), state_(state) {}
+
+  void start(runtime::Framework& fw) override;
+
+  // CheckpointParticipant: with Atomic Execution configured, the per-client
+  // stream positions survive a crash, so a recovered member continues each
+  // client's stream instead of restarting at its first re-seen id.
+  void encode_state(Writer& w) const override;
+  void decode_state(Reader& r) override;
+
+  [[nodiscard]] std::uint64_t stale_dropped() const { return stale_dropped_; }
+
+ private:
+  [[nodiscard]] sim::Task<> msg_from_net(runtime::EventContext& ctx);
+  [[nodiscard]] sim::Task<> handle_reply(runtime::EventContext& ctx);
+
+  struct InProgress {
+    Incarnation inc = 0;
+    CallId next;  ///< next call id allowed to execute for this client
+  };
+
+  GrpcState& state_;
+  std::unordered_map<ProcessId, InProgress> in_progress_;
+  std::uint64_t stale_dropped_ = 0;
+};
+
+}  // namespace ugrpc::core

@@ -1,0 +1,75 @@
+#include "core/micro/reliable_communication.h"
+
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void ReliableCommunication::start(runtime::Framework& fw) {
+  fw_ = &fw;
+  fw.register_handler(kNewRpcCall, "ReliableComm.handle_new_call", kPrioNewReliable,
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        auto rec = state_.find_client(ctx.arg_as<CallEvent>().id);
+                        if (rec != nullptr) {
+                          for (auto& [p, ps] : rec->pending) ps.acked = false;
+                        }
+                        arm_timer(*fw_);
+                        co_return;
+                      });
+  fw.register_handler(kMsgFromNetwork, "ReliableComm.msg_from_net", kPrioNetReliable,
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        const auto& msg = ctx.arg_as<net::NetMessage>();
+                        if (msg.type == net::MsgType::kReply) {
+                          if (auto rec = state_.find_client(msg.id)) {
+                            auto it = rec->pending.find(msg.sender);
+                            if (it != rec->pending.end()) it->second.acked = true;
+                          }
+                        } else if (msg.type == net::MsgType::kAck) {
+                          if (auto rec = state_.find_client(CallId{msg.ackid})) {
+                            auto it = rec->pending.find(msg.sender);
+                            if (it != rec->pending.end()) it->second.acked = true;
+                          }
+                        }
+                        co_return;
+                      });
+}
+
+void ReliableCommunication::arm_timer(runtime::Framework& fw) {
+  // The paper's handler re-registers itself for TIMEOUT at the end of each
+  // run, making it periodic.  Optimization over the paper: the timer is
+  // armed only while calls are pending, so an idle client (and hence the
+  // whole simulation) can quiesce.
+  if (armed_) return;
+  armed_ = true;
+  fw.register_timeout("ReliableComm.handle_timeout", retrans_timeout_,
+                      [this, &fw]() -> sim::Task<> {
+                        armed_ = false;
+                        co_await handle_timeout();
+                        if (!state_.pRPC.empty()) arm_timer(fw);
+                      });
+}
+
+sim::Task<> ReliableCommunication::handle_timeout() {
+  // Snapshot the record set: retransmission sends may interleave with table
+  // mutations from other fibers.
+  std::vector<std::shared_ptr<ClientRecord>> records;
+  records.reserve(state_.pRPC.size());
+  for (const auto& [id, rec] : state_.pRPC) records.push_back(rec);
+  for (const auto& rec : records) {
+    for (auto& [p, ps] : rec->pending) {
+      if (ps.acked) continue;
+      net::NetMessage msg;
+      msg.type = net::MsgType::kCall;
+      msg.id = rec->id;
+      msg.op = rec->op;
+      msg.args = rec->request_args;
+      msg.server = rec->server;
+      msg.sender = state_.my_id;
+      msg.inc = state_.inc_number;
+      state_.net_push(p, msg);
+      ++retransmissions_;
+    }
+  }
+  co_return;
+}
+
+}  // namespace ugrpc::core

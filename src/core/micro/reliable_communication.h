@@ -1,0 +1,40 @@
+// Reliable Communication micro-protocol (paper section 4.4.3).
+//
+// Implements the standard retransmit-until-acknowledged scheme on the client
+// side: every `retrans_timeout` the call is retransmitted to each group
+// member that has neither replied nor acknowledged it.  A Reply counts as an
+// acknowledgement; explicit ACK messages (sent by Unique Execution on the
+// peer) also count.  Combined with RPC Main this gives unbounded
+// termination: "the client side keeps on trying until it gets a response".
+#pragma once
+
+#include "core/events.h"
+#include "core/grpc_state.h"
+#include "runtime/micro_protocol.h"
+#include "sim/time.h"
+
+namespace ugrpc::core {
+
+class ReliableCommunication : public runtime::MicroProtocol {
+ public:
+  ReliableCommunication(GrpcState& state, sim::Duration retrans_timeout)
+      : MicroProtocol("Reliable Communication"), state_(state),
+        retrans_timeout_(retrans_timeout) {}
+
+  void start(runtime::Framework& fw) override;
+
+  /// Total retransmissions performed (observability for tests/benches).
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  [[nodiscard]] sim::Task<> handle_timeout();
+  void arm_timer(runtime::Framework& fw);
+
+  GrpcState& state_;
+  runtime::Framework* fw_ = nullptr;
+  sim::Duration retrans_timeout_;
+  bool armed_ = false;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace ugrpc::core

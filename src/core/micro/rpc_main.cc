@@ -1,0 +1,103 @@
+#include "core/micro/rpc_main.h"
+
+#include "common/log.h"
+#include "core/priorities.h"
+#include "core/user_protocol.h"
+
+namespace ugrpc::core {
+
+void RpcMain::start(runtime::Framework& fw) {
+  fw_ = &fw;
+  state_.HOLD[kHoldMain] = true;
+  // Other micro-protocols reach forward_up through the shared state, keeping
+  // them decoupled from this class.
+  state_.forward_up = [this](CallId id, HoldIndex index) { return forward_up(id, index); };
+  fw.register_handler(kMsgFromNetwork, "RPCMain.msg_from_net", kPrioNetMain,
+                      [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
+  fw.register_handler(kCallFromUser, "RPCMain.msg_from_user", kPrioUserMain,
+                      [this](runtime::EventContext& ctx) { return msg_from_user(ctx); });
+  fw.register_handler(kRecovery, "RPCMain.handle_recovery",
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        state_.inc_number = ctx.arg_as<RecoveryEvent>().inc;
+                        co_return;
+                      });
+}
+
+sim::Task<> RpcMain::msg_from_net(runtime::EventContext& ctx) {
+  auto& msg = ctx.arg_as<net::NetMessage>();
+  if (msg.type != net::MsgType::kCall) co_return;
+  auto rec = std::make_shared<ServerRecord>();
+  rec->id = msg.id;
+  rec->op = msg.op;
+  rec->args = msg.args;
+  rec->server = msg.server;
+  rec->client = msg.sender;
+  rec->client_inc = msg.inc;
+  // Overwriting any previous record for this id implements the default
+  // at-least-once behaviour: without Unique Execution a retransmitted call
+  // is simply executed again.
+  state_.sRPC[msg.id] = rec;
+  co_await forward_up(msg.id, kHoldMain);
+}
+
+sim::Task<> RpcMain::forward_up(CallId id, HoldIndex index) {
+  auto rec = state_.find_server(id);
+  if (rec == nullptr) co_return;  // removed by an ordering micro-protocol
+  rec->hold[index] = true;
+  for (std::size_t i = 0; i < kHoldCount; ++i) {
+    if (state_.HOLD[i] && !rec->hold[i]) co_return;  // still gated
+  }
+  // All gates satisfied: run execution guards (Serial Execution's token
+  // acquisition lives here; see priorities.h note 2), then execute.
+  for (const auto& guard : state_.before_execute) co_await guard(id);
+  UGRPC_ASSERT(state_.user != nullptr && "server site has no user protocol");
+  co_await state_.user->pop(rec->op, rec->args);
+
+  CallEvent done{id};
+  co_await fw_->trigger(kReplyFromServer, runtime::EventArg::ref(done));
+
+  net::NetMessage reply;
+  reply.type = net::MsgType::kReply;
+  reply.id = rec->id;
+  reply.op = rec->op;
+  reply.args = rec->args;  // the procedure wrote results in place
+  reply.server = rec->server;
+  reply.sender = state_.my_id;
+  reply.inc = state_.inc_number;
+  const ProcessId client = rec->client;
+  // Erase only if the table still maps the id to *this* record; a concurrent
+  // retransmission may have installed a fresh one.
+  auto it = state_.sRPC.find(id);
+  if (it != state_.sRPC.end() && it->second == rec) state_.sRPC.erase(it);
+  state_.net_push(client, reply);
+}
+
+sim::Task<> RpcMain::msg_from_user(runtime::EventContext& ctx) {
+  auto& umsg = ctx.arg_as<UserMessage>();
+  if (umsg.type != UserOp::kCall) co_return;
+  std::shared_ptr<ClientRecord> rec;
+  {
+    auto guard = co_await state_.pRPC_mutex.lock();
+    const CallId id = make_call_id(state_.my_id, state_.next_seq++);
+    rec = std::make_shared<ClientRecord>(state_.sched, id, umsg.op, umsg.args, umsg.server);
+    for (ProcessId p : state_.network.group_members(umsg.server)) {
+      rec->pending.emplace(p, PendingServer{});
+    }
+    state_.pRPC[id] = rec;
+  }
+  CallEvent created{rec->id};
+  co_await fw_->trigger(kNewRpcCall, runtime::EventArg::ref(created));
+  umsg.id = rec->id;
+
+  net::NetMessage msg;
+  msg.type = net::MsgType::kCall;
+  msg.id = rec->id;
+  msg.op = rec->op;
+  msg.args = rec->request_args;
+  msg.server = rec->server;
+  msg.sender = state_.my_id;
+  msg.inc = state_.inc_number;
+  state_.net_multicast(rec->server, msg);
+}
+
+}  // namespace ugrpc::core

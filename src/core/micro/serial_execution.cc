@@ -1,0 +1,20 @@
+#include "core/micro/serial_execution.h"
+
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void SerialExecution::start(runtime::Framework& fw) {
+  state_.before_execute.push_back([this](CallId) -> sim::Task<> {
+    co_await state_.serial.acquire();
+    state_.serial_holder = state_.sched.current_fiber();
+  });
+  fw.register_handler(kReplyFromServer, "SerialExec.handle_reply", kPrioReplySerial,
+                      [this](runtime::EventContext&) -> sim::Task<> {
+                        state_.serial_holder.reset();
+                        state_.serial.release();
+                        co_return;
+                      });
+}
+
+}  // namespace ugrpc::core

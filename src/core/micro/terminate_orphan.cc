@@ -1,0 +1,82 @@
+#include "core/micro/terminate_orphan.h"
+
+#include "common/log.h"
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void TerminateOrphan::start(runtime::Framework& fw) {
+  // Execution-guard: remember which fiber executes which client's call.
+  // Must be registered before Serial Execution's guard (the composite
+  // assembles orphan handling first) so that fibers blocked waiting for the
+  // serial token are already tracked and killable.
+  state_.before_execute.push_back([this](CallId id) -> sim::Task<> {
+    if (auto rec = state_.find_server(id)) {
+      cinfo_[rec->client].threads.insert(state_.sched.current_fiber());
+    }
+    co_return;
+  });
+  fw.register_handler(kMsgFromNetwork, "TermOrphan.msg_from_net", kPrioNetOrphan,
+                      [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
+  fw.register_handler(kReplyFromServer, "TermOrphan.handle_reply", kPrioReplyOrphan,
+                      [this](runtime::EventContext& ctx) { return handle_reply(ctx); });
+  // Probing-based detection (paper's second approach): the membership
+  // service heartbeats clients; a client declared failed has only orphans.
+  fw.register_handler(kMembershipChange, "TermOrphan.client_failure",
+                      [this](runtime::EventContext& ctx) { return client_failure(ctx); });
+}
+
+void TerminateOrphan::kill_threads(ClientInfo& info) {
+  for (FiberId th : info.threads) {
+    UGRPC_ASSERT(th != state_.sched.current_fiber());
+    if (state_.serial_holder == th) {
+      // The victim holds the serial token; free it or the server wedges.
+      state_.serial_holder.reset();
+      state_.serial.release();
+    }
+    state_.sched.kill(th);
+    ++orphans_killed_;
+  }
+  info.threads.clear();
+}
+
+sim::Task<> TerminateOrphan::client_failure(runtime::EventContext& ctx) {
+  const auto& ev = ctx.arg_as<MembershipEvent>();
+  if (ev.change != membership::Change::kFailure) co_return;
+  auto it = cinfo_.find(ev.who);
+  if (it == cinfo_.end()) co_return;
+  if (!it->second.threads.empty()) {
+    UGRPC_LOG(kDebug, "orphan@%u: probing detected death of client %u, killing %zu thread(s)",
+              state_.my_id.value(), ev.who.value(), it->second.threads.size());
+    kill_threads(it->second);
+  }
+}
+
+sim::Task<> TerminateOrphan::msg_from_net(runtime::EventContext& ctx) {
+  const auto& msg = ctx.arg_as<net::NetMessage>();
+  if (msg.type != net::MsgType::kCall) co_return;
+  auto [it, inserted] = cinfo_.try_emplace(msg.sender, ClientInfo{msg.inc, {}});
+  ClientInfo& info = it->second;
+  if (info.inc > msg.inc) {
+    ctx.cancel();  // request from a dead incarnation
+    co_return;
+  }
+  if (info.inc < msg.inc) {
+    // Newer incarnation: the previous one is dead, its threads are orphans.
+    UGRPC_LOG(kDebug, "orphan@%u: new incarnation of client %u, killing %zu thread(s)",
+              state_.my_id.value(), msg.sender.value(), info.threads.size());
+    kill_threads(info);
+    info.inc = msg.inc;
+  }
+}
+
+sim::Task<> TerminateOrphan::handle_reply(runtime::EventContext& ctx) {
+  const CallId id = ctx.arg_as<CallEvent>().id;
+  auto rec = state_.find_server(id);
+  if (rec == nullptr) co_return;
+  auto it = cinfo_.find(rec->client);
+  if (it != cinfo_.end()) it->second.threads.erase(state_.sched.current_fiber());
+  co_return;
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,287 @@
+#include "core/micro/total_order.h"
+
+#include "common/log.h"
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void TotalOrder::start(runtime::Framework& fw) {
+  fw_ = &fw;
+  state_.HOLD[kHoldTotal] = true;
+  state_.checkpoint_participants.push_back(this);
+  fw.register_handler(kMsgFromNetwork, "TotalOrder.assign_order", kPrioNetAssignOrder,
+                      [this](runtime::EventContext& ctx) { return assign_order(ctx); });
+  fw.register_handler(kMsgFromNetwork, "TotalOrder.msg_from_net", kPrioNetOrderDeliver,
+                      [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
+  fw.register_handler(kReplyFromServer, "TotalOrder.mark_executed", kPrioReplyOrderMark,
+                      [this](runtime::EventContext&) -> sim::Task<> {
+                        ++next_entry_;  // before the checkpoint; see priorities.h
+                        co_return;
+                      });
+  fw.register_handler(kReplyFromServer, "TotalOrder.handle_reply", kPrioReplyOrder,
+                      [this](runtime::EventContext& ctx) { return handle_reply(ctx); });
+  fw.register_handler(kMembershipChange, "TotalOrder.membership_change",
+                      [this](runtime::EventContext& ctx) { return membership_change(ctx); });
+  // A member that boots (or recovers) into the leader role must not assign
+  // orders from a fresh counter: reconcile with the group first.
+  if (options_.agreement && state_.my_id == leader(group_)) {
+    bool has_peers = false;
+    for (ProcessId p : state_.network.group_members(group_)) {
+      if (p != state_.my_id && state_.members.contains(p)) has_peers = true;
+    }
+    if (has_peers) begin_reconciliation();
+  }
+}
+
+ProcessId TotalOrder::leader(GroupId group) const {
+  ProcessId best{0};
+  for (ProcessId p : state_.network.group_members(group)) {
+    if (state_.members.contains(p) && p.value() > best.value()) best = p;
+  }
+  return best;
+}
+
+sim::Task<> TotalOrder::assign_order(runtime::EventContext& ctx) {
+  const auto& msg = ctx.arg_as<net::NetMessage>();
+  if (msg.type != net::MsgType::kCall) co_return;
+  const ProcessId who_leads = leader(msg.server);
+  if (state_.my_id == who_leads) {
+    std::uint64_t order = 0;
+    if (auto it = old_orders_.find(msg.id); it != old_orders_.end()) {
+      order = it->second;  // re-announce an existing assignment
+    } else if (!reconciling_) {
+      order = next_order_++;
+      old_orders_.emplace(msg.id, order);
+    } else {
+      // Mid-reconciliation: do not assign.  The call parks in waiting_set
+      // (msg_from_net) and the client's retransmission re-triggers
+      // assignment once the round closes.
+      co_return;
+    }
+    net::NetMessage order_msg;
+    order_msg.type = net::MsgType::kOrder;
+    order_msg.id = msg.id;
+    order_msg.server = msg.server;
+    order_msg.sender = state_.my_id;
+    order_msg.inc = state_.inc_number;
+    order_msg.ackid = order;
+    state_.net_multicast(msg.server, order_msg);
+  } else if (waiting_set_.contains(msg.id)) {
+    // A retransmission of a call we still cannot order: nudge the (possibly
+    // new) leader, which may never have received the original.
+    state_.net_push(who_leads, msg);
+  }
+  // Note: the paper cancels the event here when the call's order is already
+  // below next_entry (an executed duplicate).  That cancel runs before
+  // Unique Execution's handler and therefore suppresses its resend of the
+  // stored result -- a client whose Reply was lost would retransmit forever.
+  // Since Total Order requires Unique Execution (Figure 4), which both
+  // cancels duplicates and re-answers completed calls, the early cancel is
+  // redundant and we omit it (see DESIGN.md).
+}
+
+sim::Task<> TotalOrder::note_order(CallId id, std::uint64_t order) {
+  // Followers track the leader's counter so a successor continues the
+  // numbering after a failover.
+  if (next_order_ < order + 1) next_order_ = order + 1;
+  auto [it, inserted] = old_orders_.emplace(id, order);
+  const std::uint64_t my_order = it->second;  // first assignment wins
+  if (waiting_set_.erase(id) > 0) {
+    if (my_order == next_entry_) {
+      co_await state_.forward_up(id, kHoldTotal);
+    } else if (my_order > next_entry_) {
+      ready_list_[my_order] = id;
+    }
+  }
+}
+
+sim::Task<> TotalOrder::msg_from_net(runtime::EventContext& ctx) {
+  const auto& msg = ctx.arg_as<net::NetMessage>();
+  switch (msg.type) {
+    case net::MsgType::kCall: {
+      auto it = old_orders_.find(msg.id);
+      if (it == old_orders_.end()) {
+        waiting_set_.insert(msg.id);  // unordered: hold until an Order arrives
+        co_return;
+      }
+      const std::uint64_t my_order = it->second;
+      if (my_order < next_entry_) {
+        // Already executed here; discard the freshly re-created record.
+        ctx.cancel();
+        state_.sRPC.erase(msg.id);
+      } else if (my_order == next_entry_) {
+        co_await state_.forward_up(msg.id, kHoldTotal);
+      } else {
+        ready_list_[my_order] = msg.id;
+      }
+      break;
+    }
+    case net::MsgType::kOrder:
+      co_await note_order(msg.id, msg.ackid);
+      break;
+    case net::MsgType::kOrderQuery: {
+      if (msg.sender == state_.my_id) co_return;
+      net::NetMessage info;
+      info.type = net::MsgType::kOrderInfo;
+      info.server = msg.server;
+      info.sender = state_.my_id;
+      info.inc = state_.inc_number;
+      info.ackid = msg.ackid;  // echo the floor
+      info.args = encode_order_info(msg.ackid);
+      state_.net_push(msg.sender, info);
+      break;
+    }
+    case net::MsgType::kOrderInfo: {
+      if (!reconciling_) co_return;  // stale answer from an earlier round
+      Reader r(msg.args);
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const CallId id{r.u64()};
+        const std::uint64_t order = r.u64();
+        co_await note_order(id, order);
+      }
+      awaiting_info_.erase(msg.sender);
+      if (awaiting_info_.empty()) finish_reconciliation();
+      break;
+    }
+    case net::MsgType::kReply:
+    case net::MsgType::kAck:
+      break;
+  }
+}
+
+sim::Task<> TotalOrder::handle_reply(runtime::EventContext&) {
+  // next_entry_ was advanced by mark_executed (kPrioReplyOrderMark).
+  auto it = ready_list_.find(next_entry_);
+  if (it != ready_list_.end()) {
+    const CallId next_id = it->second;
+    ready_list_.erase(it);
+    co_await state_.forward_up(next_id, kHoldTotal);
+  }
+}
+
+sim::Task<> TotalOrder::membership_change(runtime::EventContext& ctx) {
+  if (!options_.agreement) co_return;
+  const auto& ev = ctx.arg_as<MembershipEvent>();
+  // Leadership falls to this member when a higher-id member fails while we
+  // are (now) the maximum live id.
+  if (ev.change == membership::Change::kFailure && ev.who.value() > state_.my_id.value() &&
+      state_.my_id == leader(group_) && !reconciling_) {
+    begin_reconciliation();
+  }
+  co_return;
+}
+
+Buffer TotalOrder::encode_order_info(std::uint64_t floor) const {
+  Buffer out;
+  Writer w(out);
+  std::uint32_t count = 0;
+  for (const auto& [id, order] : old_orders_) {
+    if (order >= floor) ++count;
+  }
+  w.u32(count);
+  for (const auto& [id, order] : old_orders_) {
+    if (order < floor) continue;
+    w.u64(id.value());
+    w.u64(order);
+  }
+  return out;
+}
+
+void TotalOrder::begin_reconciliation() {
+  reconciling_ = true;
+  ++reconciliations_;
+  awaiting_info_.clear();
+  for (ProcessId p : state_.network.group_members(group_)) {
+    if (p != state_.my_id && state_.members.contains(p)) awaiting_info_.insert(p);
+  }
+  UGRPC_LOG(kDebug, "total@%u: reconciling with %zu members", state_.my_id.value(),
+            awaiting_info_.size());
+  if (awaiting_info_.empty()) {
+    finish_reconciliation();
+    return;
+  }
+  net::NetMessage query;
+  query.type = net::MsgType::kOrderQuery;
+  query.server = group_;
+  query.sender = state_.my_id;
+  query.inc = state_.inc_number;
+  query.ackid = next_entry_;  // members answer with assignments >= this floor
+  state_.net_multicast(group_, query);
+  // Lost answers must not wedge the group: close the round after a timeout
+  // with whatever arrived.
+  reconcile_timer_ = fw_->register_timeout("TotalOrder.reconcile_timeout",
+                                           options_.agreement_timeout, [this]() -> sim::Task<> {
+                                             if (reconciling_) finish_reconciliation();
+                                             co_return;
+                                           });
+}
+
+void TotalOrder::encode_state(Writer& w) const {
+  w.u64(next_order_);
+  w.u64(next_entry_);
+  w.u32(static_cast<std::uint32_t>(old_orders_.size()));
+  for (const auto& [id, order] : old_orders_) {
+    w.u64(id.value());
+    w.u64(order);
+  }
+  // waiting_set_ and ready_list_ reference sRPC records that do not survive
+  // the crash; the calls they hold are re-delivered by client
+  // retransmissions, so only the assignments need to persist.
+}
+
+void TotalOrder::decode_state(Reader& r) {
+  next_order_ = r.u64();
+  next_entry_ = r.u64();
+  old_orders_.clear();
+  waiting_set_.clear();
+  ready_list_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const CallId id{r.u64()};
+    old_orders_[id] = r.u64();
+  }
+}
+
+void TotalOrder::finish_reconciliation() {
+  reconciling_ = false;
+  awaiting_info_.clear();
+  fw_->cancel_timeout(reconcile_timer_);
+  UGRPC_LOG(kDebug, "total@%u: reconciliation closed, next_order=%llu", state_.my_id.value(),
+            static_cast<unsigned long long>(next_order_));
+  // Calls that arrived during the round were parked unassigned; give them
+  // their numbers now rather than waiting for client retransmissions.
+  std::vector<std::pair<CallId, std::uint64_t>> fresh;
+  for (CallId id : waiting_set_) {
+    if (old_orders_.contains(id)) continue;
+    const std::uint64_t order = next_order_++;
+    old_orders_.emplace(id, order);
+    fresh.emplace_back(id, order);
+  }
+  // Re-announce the merged tail (plus the fresh assignments) so every
+  // member converges on one assignment even if the old leader's Orders
+  // reached only a subset.
+  for (const auto& [id, order] : old_orders_) {
+    if (order < next_entry_) continue;
+    net::NetMessage order_msg;
+    order_msg.type = net::MsgType::kOrder;
+    order_msg.id = id;
+    order_msg.server = group_;
+    order_msg.sender = state_.my_id;
+    order_msg.inc = state_.inc_number;
+    order_msg.ackid = order;
+    state_.net_multicast(group_, order_msg);
+  }
+  // Deliver the fresh assignments locally without relying on the multicast
+  // self-loop (which is subject to faults): note_order may execute calls,
+  // so it runs in its own fiber.
+  if (!fresh.empty()) {
+    state_.sched.spawn(
+        [](TotalOrder& self, std::vector<std::pair<CallId, std::uint64_t>> pairs) -> sim::Task<> {
+          for (const auto& [id, order] : pairs) co_await self.note_order(id, order);
+        }(*this, std::move(fresh)),
+        fw_->domain());
+  }
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,91 @@
+#include "core/micro/unique_execution.h"
+
+#include "core/priorities.h"
+
+namespace ugrpc::core {
+
+void UniqueExecution::start(runtime::Framework& fw) {
+  state_.checkpoint_participants.push_back(this);
+  fw.register_handler(kMsgFromNetwork, "UniqueExec.msg_from_net", kPrioNetUnique,
+                      [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
+  fw.register_handler(kReplyFromServer, "UniqueExec.handle_reply", kPrioReplyUnique,
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
+                        const CallId id = ctx.arg_as<CallEvent>().id;
+                        if (auto rec = state_.find_server(id)) {
+                          old_results_[id] = rec->args;
+                        }
+                        co_return;
+                      });
+}
+
+sim::Task<> UniqueExecution::msg_from_net(runtime::EventContext& ctx) {
+  const auto& msg = ctx.arg_as<net::NetMessage>();
+  switch (msg.type) {
+    case net::MsgType::kCall: {
+      if (auto it = old_results_.find(msg.id); it != old_results_.end()) {
+        // Completed before: answer from the stored result, do not re-execute.
+        ++duplicates_suppressed_;
+        net::NetMessage reply;
+        reply.type = net::MsgType::kReply;
+        reply.id = msg.id;
+        reply.op = msg.op;
+        reply.args = it->second;
+        reply.server = msg.server;
+        reply.sender = state_.my_id;
+        reply.inc = state_.inc_number;
+        state_.net_push(msg.sender, reply);
+        ctx.cancel();
+      } else if (old_calls_.contains(msg.id)) {
+        // In progress (or executed and already acknowledged): drop.
+        ++duplicates_suppressed_;
+        ctx.cancel();
+      } else {
+        old_calls_.insert(msg.id);
+      }
+      break;
+    }
+    case net::MsgType::kReply: {
+      // Client side: acknowledge so the server can free the stored result.
+      net::NetMessage ack;
+      ack.type = net::MsgType::kAck;
+      ack.server = msg.server;
+      ack.sender = state_.my_id;
+      ack.inc = state_.inc_number;
+      ack.ackid = msg.id.value();
+      state_.net_push(msg.sender, ack);
+      break;
+    }
+    case net::MsgType::kAck:
+      old_results_.erase(CallId{msg.ackid});
+      break;
+    case net::MsgType::kOrder:
+    case net::MsgType::kOrderQuery:
+    case net::MsgType::kOrderInfo:
+      break;
+  }
+  co_return;
+}
+
+void UniqueExecution::encode_state(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(old_calls_.size()));
+  for (CallId id : old_calls_) w.u64(id.value());
+  w.u32(static_cast<std::uint32_t>(old_results_.size()));
+  for (const auto& [id, args] : old_results_) {
+    w.u64(id.value());
+    w.raw(args.bytes());
+  }
+}
+
+void UniqueExecution::decode_state(Reader& r) {
+  old_calls_.clear();
+  old_results_.clear();
+  const std::uint32_t n_calls = r.u32();
+  for (std::uint32_t i = 0; i < n_calls; ++i) old_calls_.insert(CallId{r.u64()});
+  const std::uint32_t n_results = r.u32();
+  for (std::uint32_t i = 0; i < n_results; ++i) {
+    const CallId id{r.u64()};
+    old_results_[id] = r.raw();
+  }
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,51 @@
+// Unique Execution micro-protocol (paper section 4.4.5).
+//
+// Guarantees a call is not executed more than once at each server: the
+// server remembers which calls it has seen (OldCalls) and keeps each call's
+// result (OldResults) until the client acknowledges the Reply.  A duplicate
+// of a completed call is answered from OldResults; a duplicate of an
+// in-progress call is discarded.  On the client side, every received Reply
+// is acknowledged with an ACK message so the server can garbage-collect.
+//
+// Combined with RPC Main + Reliable Communication this upgrades
+// "at least once" to "exactly once" (paper Figure 1).  The duplicate tables
+// are volatile; to preserve uniqueness across a server crash, configure
+// Atomic Execution, which includes this micro-protocol's tables in its
+// checkpoints (CheckpointParticipant).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/events.h"
+#include "core/grpc_state.h"
+#include "runtime/micro_protocol.h"
+
+namespace ugrpc::core {
+
+class UniqueExecution : public runtime::MicroProtocol, public CheckpointParticipant {
+ public:
+  explicit UniqueExecution(GrpcState& state)
+      : MicroProtocol("Unique Execution"), state_(state) {}
+
+  void start(runtime::Framework& fw) override;
+
+  // CheckpointParticipant: the duplicate-suppression tables are part of the
+  // server state that Atomic Execution rolls back on recovery.
+  void encode_state(Writer& w) const override;
+  void decode_state(Reader& r) override;
+
+  [[nodiscard]] std::size_t old_calls() const { return old_calls_.size(); }
+  [[nodiscard]] std::size_t stored_results() const { return old_results_.size(); }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+ private:
+  [[nodiscard]] sim::Task<> msg_from_net(runtime::EventContext& ctx);
+
+  GrpcState& state_;
+  std::set<CallId> old_calls_;
+  std::map<CallId, Buffer> old_results_;
+  std::uint64_t duplicates_suppressed_ = 0;
+};
+
+}  // namespace ugrpc::core

@@ -1,0 +1,69 @@
+// Canonical handler priorities for the gRPC micro-protocols.
+//
+// The framework runs handlers of one event in ascending priority order
+// (paper: "executed in priority order"; omitted priority runs last).  The
+// paper's example priorities contain collisions and two ordering hazards, so
+// we renumber on a single scale while preserving every ordering the paper's
+// correctness depends on.  Deviations (documented in DESIGN.md):
+//
+//  1. Collation runs BEFORE Acceptance on a Reply (paper: after).  With the
+//     paper's order the accepting V() can wake the client before the final
+//     reply is folded in; folding first removes the race.  Collation
+//     therefore performs the duplicate-reply check itself (only replies not
+//     yet counted `done` are folded), since Acceptance's duplicate
+//     cancellation now happens after it.
+//
+//  2. Serial Execution does not P(serial) at message arrival (paper's
+//     placement): with FIFO/Total ordering a call whose execution is being
+//     held back would acquire the token at arrival and deadlock the call
+//     that must execute first.  The gate instead lives in an
+//     execution-guard hook that RPC Main awaits immediately before invoking
+//     the procedure (see serial_execution.h).  Correspondingly, on
+//     REPLY_FROM_SERVER the serial V() must precede the ordering protocols'
+//     handlers, because those forward (and execute) the next held call.
+#pragma once
+
+namespace ugrpc::core {
+
+// ---- MSG_FROM_NETWORK ----
+inline constexpr int kPrioNetAssignOrder = 10;  ///< Total Order: leader assigns order
+inline constexpr int kPrioNetReliable = 20;     ///< Reliable Comm: mark acked
+/// Orphan handling runs BEFORE Unique Execution: Interference Avoidance
+/// defers a new-incarnation call by cancelling the event and relying on the
+/// client's retransmissions -- if Unique Execution saw the call first it
+/// would record it in OldCalls and then suppress every retransmission as a
+/// duplicate, so the deferred call could never be admitted.  (The paper
+/// gives both handlers priority 2 and leaves the order to chance.)
+inline constexpr int kPrioNetOrphan = 25;       ///< Interference Avoidance / Terminate Orphan
+inline constexpr int kPrioNetUnique = 30;       ///< Unique Execution: dup suppression / ACK
+inline constexpr int kPrioNetCollation = 45;    ///< Collation: fold reply (see note 1)
+inline constexpr int kPrioNetMain = 50;         ///< RPC Main: record + forward_up
+inline constexpr int kPrioNetAcceptance = 50;   ///< Acceptance: count replies (client side)
+inline constexpr int kPrioNetOrderDeliver = 60; ///< FIFO/Total: ordering bookkeeping + deliver
+
+// ---- CALL_FROM_USER ----
+inline constexpr int kPrioUserMain = 10;        ///< RPC Main: create record, send
+// Synchronous/Asynchronous Call register with the default (lowest) priority,
+// exactly as in the paper: they block after RPC Main has sent the call.
+
+// ---- NEW_RPC_CALL ----
+inline constexpr int kPrioNewReliable = 10;     ///< reset acked flags
+inline constexpr int kPrioNewAcceptance = 20;   ///< compute nres / done flags
+inline constexpr int kPrioNewCollation = 30;    ///< initialize accumulator
+inline constexpr int kPrioNewBounded = 40;      ///< arm the per-call deadline
+
+// ---- REPLY_FROM_SERVER ----
+// The ordering protocols' reply work is split in two: their *bookkeeping*
+// (advancing next_entry / the per-client stream position) must precede the
+// Atomic Execution checkpoint, or a recovered member would resume expecting
+// to re-execute the call it just completed; their *forwarding* of the next
+// held call must follow both the checkpoint (the next call mutates state)
+// and the serial-token release (the next call needs the token).
+inline constexpr int kPrioReplyUnique = 10;      ///< store result for dup answers
+inline constexpr int kPrioReplyOrphan = 20;      ///< orphan bookkeeping
+inline constexpr int kPrioReplyOrderMark = 25;   ///< FIFO/Total: advance position
+inline constexpr int kPrioReplyAtomic = 30;      ///< checkpoint (post-position, pre-next-call)
+inline constexpr int kPrioReplySerial = 40;      ///< release serial token (see note 2)
+inline constexpr int kPrioReplyOrder = 50;       ///< FIFO/Total: chain to the next held call
+
+}  // namespace ugrpc::core

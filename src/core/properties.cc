@@ -1,0 +1,99 @@
+#include "core/properties.h"
+
+#include <array>
+
+namespace ugrpc::core {
+
+std::string_view to_string(Property p) {
+  switch (p) {
+    case Property::kRpc: return "RPC";
+    case Property::kNoOrder: return "No Order";
+    case Property::kFifoOrder: return "FIFO Order";
+    case Property::kTotalOrder: return "Total Order";
+    case Property::kIgnoreOrphans: return "Ignore Orphans";
+    case Property::kTerminateOrphans: return "Terminate Orphans";
+    case Property::kAvoidOrphanInterference: return "Avoid Orphan Interference";
+    case Property::kSynchronousCall: return "Synchronous Call";
+    case Property::kAsynchronousCall: return "Asynchronous Call";
+    case Property::kReliableCommunication: return "Reliable Communication";
+    case Property::kUnreliableCommunication: return "Unreliable Communication";
+    case Property::kBoundedTermination: return "Bounded Termination";
+    case Property::kUnboundedTermination: return "Unbounded Termination";
+    case Property::kAcceptance: return "Acceptance";
+    case Property::kMembership: return "Membership";
+    case Property::kCollation: return "Collation";
+    case Property::kUniqueExecution: return "Unique Execution";
+    case Property::kNonUniqueExecution: return "Non-Unique Execution";
+    case Property::kAtomicExecution: return "Atomic Execution";
+    case Property::kNonAtomicExecution: return "Non-Atomic Execution";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+constexpr std::array kEdges{
+    // Ordering requires every server to receive the same set of messages
+    // (paper section 2.2: "to implement FIFO or total ordering, every server
+    // must receive the same set of messages, i.e., the reliability property
+    // must hold").
+    PropertyEdge{Property::kFifoOrder, Property::kReliableCommunication,
+                 "every server must receive the client's full message stream"},
+    PropertyEdge{Property::kTotalOrder, Property::kReliableCommunication,
+                 "every server must receive the same set of messages"},
+    // Acceptance counts successful executions; it is only meaningful for an
+    // RPC with responses, and its "all functioning servers" variant needs
+    // failure information.
+    PropertyEdge{Property::kAcceptance, Property::kRpc, "counts responses of a group call"},
+    PropertyEdge{Property::kMembership, Property::kRpc, "tracks the server group of the RPC"},
+    PropertyEdge{Property::kAcceptance, Property::kMembership,
+                 "settling for 'all functioning servers' requires failure detection"},
+    PropertyEdge{Property::kCollation, Property::kAcceptance,
+                 "replies are folded as they are counted toward acceptance"},
+    // Atomic execution of at-most-once semantics presumes executions are not
+    // duplicated (a rolled-back call must not also have executed elsewhere
+    // in the same server's history).
+    PropertyEdge{Property::kAtomicExecution, Property::kUniqueExecution,
+                 "at-most-once = unique + atomic (paper Figure 1)"},
+    // The call-synchrony, orphan and termination properties hang off RPC.
+    PropertyEdge{Property::kSynchronousCall, Property::kRpc, "blocks the caller of an RPC"},
+    PropertyEdge{Property::kAsynchronousCall, Property::kRpc, "decouples the caller of an RPC"},
+    PropertyEdge{Property::kBoundedTermination, Property::kRpc, "bounds the RPC's completion"},
+    PropertyEdge{Property::kTerminateOrphans, Property::kRpc, "kills computations of dead callers"},
+    PropertyEdge{Property::kAvoidOrphanInterference, Property::kRpc,
+                 "orders old-incarnation work before new"},
+    PropertyEdge{Property::kUniqueExecution, Property::kReliableCommunication,
+                 "duplicate suppression presumes retransmission delivers the call"},
+};
+
+constexpr std::array kOrderAlternatives{Property::kNoOrder, Property::kFifoOrder,
+                                        Property::kTotalOrder};
+constexpr std::array kOrphanAlternatives{Property::kIgnoreOrphans, Property::kTerminateOrphans,
+                                         Property::kAvoidOrphanInterference};
+constexpr std::array kCallAlternatives{Property::kSynchronousCall, Property::kAsynchronousCall};
+constexpr std::array kCommAlternatives{Property::kReliableCommunication,
+                                       Property::kUnreliableCommunication};
+constexpr std::array kTermAlternatives{Property::kBoundedTermination,
+                                       Property::kUnboundedTermination};
+constexpr std::array kUniqueAlternatives{Property::kUniqueExecution,
+                                         Property::kNonUniqueExecution};
+constexpr std::array kAtomicAlternatives{Property::kAtomicExecution,
+                                         Property::kNonAtomicExecution};
+
+constexpr std::array kChoices{
+    PropertyChoice{"ordering", kOrderAlternatives},
+    PropertyChoice{"orphan handling", kOrphanAlternatives},
+    PropertyChoice{"call semantics", kCallAlternatives},
+    PropertyChoice{"communication", kCommAlternatives},
+    PropertyChoice{"termination", kTermAlternatives},
+    PropertyChoice{"unique execution", kUniqueAlternatives},
+    PropertyChoice{"atomic execution", kAtomicAlternatives},
+};
+
+}  // namespace
+
+std::span<const PropertyEdge> property_edges() { return kEdges; }
+
+std::span<const PropertyChoice> property_choices() { return kChoices; }
+
+}  // namespace ugrpc::core

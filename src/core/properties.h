@@ -1,0 +1,59 @@
+// Machine-readable form of paper Figure 2: the semantic properties of group
+// RPC and the logical dependencies between them ("a property P1 depends on
+// P2 if P2 must hold in order for P1 to hold").
+//
+// This is deliberately separate from the micro-protocol dependency graph in
+// config.cc (paper Figure 4): Figure 2 relates *properties* (including the
+// negative variants realized by leaving a micro-protocol out), while Figure
+// 4 adds implementation-induced edges and drops the negative variants.  The
+// fig2_property_graph bench prints both and their differences.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace ugrpc::core {
+
+enum class Property : unsigned char {
+  kRpc,                     // the base abstraction
+  kNoOrder,
+  kFifoOrder,
+  kTotalOrder,
+  kIgnoreOrphans,
+  kTerminateOrphans,
+  kAvoidOrphanInterference,
+  kSynchronousCall,
+  kAsynchronousCall,
+  kReliableCommunication,
+  kUnreliableCommunication,
+  kBoundedTermination,
+  kUnboundedTermination,
+  kAcceptance,
+  kMembership,
+  kCollation,
+  kUniqueExecution,
+  kNonUniqueExecution,
+  kAtomicExecution,
+  kNonAtomicExecution,
+};
+
+[[nodiscard]] std::string_view to_string(Property p);
+
+/// One edge of Figure 2: `from` depends on `to`.
+struct PropertyEdge {
+  Property from;
+  Property to;
+  std::string_view reason;
+};
+
+/// All dependency edges of Figure 2.
+[[nodiscard]] std::span<const PropertyEdge> property_edges();
+
+/// The choice groups of Figure 2 (bold boxes: pick exactly/at most one).
+struct PropertyChoice {
+  std::string_view category;
+  std::span<const Property> alternatives;
+};
+[[nodiscard]] std::span<const PropertyChoice> property_choices();
+
+}  // namespace ugrpc::core

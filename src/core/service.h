@@ -1,0 +1,71 @@
+// User-facing call API.
+//
+// Client wraps a Site and exposes the two call styles:
+//  * call()            -- synchronous: resolves when the call completes or
+//                         times out (requires CallSemantics::kSynchronous).
+//  * begin()/result()  -- asynchronous: begin() returns the call id
+//                         immediately; result() blocks until the result is
+//                         available (requires CallSemantics::kAsynchronous).
+//
+// Both are thin wrappers over GrpcComposite::submit with the paper's
+// User_Msgtype messages.
+#pragma once
+
+#include "common/buffer.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/site.h"
+
+namespace ugrpc::core {
+
+struct CallResult {
+  Status status = Status::kWaiting;
+  Buffer result;
+  CallId id;
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+};
+
+class Client {
+ public:
+  explicit Client(Site& site) : site_(site) {}
+
+  /// Synchronous group RPC: invoke `op` with `args` on group `server`.
+  [[nodiscard]] sim::Task<CallResult> call(GroupId server, OpId op, Buffer args) {
+    UserMessage umsg;
+    umsg.type = UserOp::kCall;
+    umsg.op = op;
+    umsg.args = std::move(args);
+    umsg.server = server;
+    co_await site_.grpc().submit(umsg);
+    co_return CallResult{umsg.status, std::move(umsg.args), umsg.id};
+  }
+
+  /// Asynchronous issue: returns the call id as soon as the call is sent.
+  [[nodiscard]] sim::Task<CallId> begin(GroupId server, OpId op, Buffer args) {
+    UserMessage umsg;
+    umsg.type = UserOp::kCall;
+    umsg.op = op;
+    umsg.args = std::move(args);
+    umsg.server = server;
+    co_await site_.grpc().submit(umsg);
+    co_return umsg.id;
+  }
+
+  /// Asynchronous retrieve: blocks until the result of `id` is available.
+  [[nodiscard]] sim::Task<CallResult> result(GroupId server, CallId id) {
+    UserMessage umsg;
+    umsg.type = UserOp::kRequest;
+    umsg.id = id;
+    umsg.server = server;
+    co_await site_.grpc().submit(umsg);
+    co_return CallResult{umsg.status, std::move(umsg.args), umsg.id};
+  }
+
+  [[nodiscard]] Site& site() { return site_; }
+
+ private:
+  Site& site_;
+};
+
+}  // namespace ugrpc::core

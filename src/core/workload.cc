@@ -1,0 +1,50 @@
+#include "core/workload.h"
+
+namespace ugrpc::core {
+
+namespace {
+
+sim::Task<> client_loop(Scenario& scenario, Client& client, int who,
+                        const WorkloadParams& params, WorkloadReport& report, int& live_clients) {
+  sim::Scheduler& sched = scenario.scheduler();
+  for (int i = 0; i < params.calls_per_client; ++i) {
+    Buffer args;
+    if (params.make_args) args = params.make_args(who, i);
+    const sim::Time t0 = sched.now();
+    const CallResult result = co_await client.call(scenario.group(), params.op, std::move(args));
+    if (result.ok()) {
+      report.latency.record(sched.now() - t0);
+      ++report.calls_ok;
+    } else {
+      ++report.calls_failed;
+    }
+    if (params.think_time > 0) co_await sched.sleep_for(params.think_time);
+  }
+  --live_clients;
+}
+
+}  // namespace
+
+WorkloadReport run_closed_loop(Scenario& scenario, const WorkloadParams& params) {
+  WorkloadReport report;
+  sim::Scheduler& sched = scenario.scheduler();
+  const sim::Time start = sched.now();
+  int live_clients = scenario.num_clients();
+  std::vector<FiberId> fibers;
+  fibers.reserve(static_cast<std::size_t>(scenario.num_clients()));
+  for (int i = 0; i < scenario.num_clients(); ++i) {
+    fibers.push_back(
+        sched.spawn(client_loop(scenario, scenario.client(i), i, params, report, live_clients),
+                    scenario.client_site(i).domain()));
+  }
+  const sim::Time stop_at = start + params.deadline;
+  while (live_clients > 0 && sched.now() < stop_at && sched.step()) {
+  }
+  // The report and counters live on this stack frame: fibers that are still
+  // parked when the deadline expires must not outlive it.
+  for (FiberId f : fibers) sched.kill(f);
+  report.elapsed = sched.now() - start;
+  return report;
+}
+
+}  // namespace ugrpc::core

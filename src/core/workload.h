@@ -1,0 +1,78 @@
+// Workload driving and latency statistics for benchmarks and experiments.
+//
+// LatencyRecorder accumulates virtual-time durations and reports
+// mean/percentile summaries; ClosedLoopWorkload drives a Scenario with a
+// configurable number of closed-loop client fibers (each issues the next
+// call as soon as the previous completes, plus optional think time) and
+// reports per-call latency and aggregate throughput.  Used by the bench
+// binaries; exported from the library because evaluating a configuration is
+// a first-class use case of a *configurable* RPC system.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/scenario.h"
+#include "sim/time.h"
+
+namespace ugrpc::core {
+
+class LatencyRecorder {
+ public:
+  void record(sim::Duration d) { samples_.push_back(d); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean_ms() const {
+    if (samples_.empty()) return 0;
+    double total = 0;
+    for (sim::Duration d : samples_) total += sim::to_msec(d);
+    return total / static_cast<double>(samples_.size());
+  }
+
+  /// q in [0, 1]; e.g. percentile_ms(0.99).
+  [[nodiscard]] double percentile_ms(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<sim::Duration> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto last = sorted.size() - 1;
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(last) + 0.5);
+    return sim::to_msec(sorted[std::min(idx, last)]);
+  }
+
+  [[nodiscard]] double max_ms() const {
+    if (samples_.empty()) return 0;
+    return sim::to_msec(*std::max_element(samples_.begin(), samples_.end()));
+  }
+
+ private:
+  std::vector<sim::Duration> samples_;
+};
+
+struct WorkloadReport {
+  LatencyRecorder latency;
+  std::uint64_t calls_ok = 0;
+  std::uint64_t calls_failed = 0;
+  sim::Duration elapsed = 0;
+
+  [[nodiscard]] double throughput_per_sec() const {
+    const double secs = sim::to_seconds(elapsed);
+    return secs > 0 ? static_cast<double>(calls_ok) / secs : 0;
+  }
+};
+
+struct WorkloadParams {
+  int calls_per_client = 50;
+  sim::Duration think_time = 0;        ///< pause between a reply and the next call
+  OpId op{1};
+  std::function<Buffer(int client, int call)> make_args;  ///< default: empty
+  sim::Duration deadline = sim::seconds(600);  ///< hard stop for the whole run
+};
+
+/// Runs the closed-loop workload over every client of `scenario` and
+/// returns aggregate statistics.  Synchronous call semantics only.
+[[nodiscard]] WorkloadReport run_closed_loop(Scenario& scenario, const WorkloadParams& params);
+
+}  // namespace ugrpc::core

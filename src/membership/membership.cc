@@ -1,0 +1,117 @@
+#include "membership/membership.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace ugrpc::membership {
+
+namespace {
+
+Buffer encode_heartbeat(ProcessId sender) {
+  Buffer b;
+  Writer w(b);
+  w.u32(sender.value());
+  return b;
+}
+
+ProcessId decode_heartbeat(const Buffer& b) { return ProcessId{Reader(b).u32()}; }
+
+DomainId domain_of(ProcessId p) { return DomainId{p.value()}; }
+
+}  // namespace
+
+MembershipMonitor::MembershipMonitor(net::Network& network, net::Endpoint& endpoint,
+                                     std::vector<ProcessId> watch, Params params, bool beat)
+    : network_(network), endpoint_(endpoint), watch_(std::move(watch)), params_(params),
+      beat_(beat) {
+  UGRPC_ASSERT(params_.failure_timeout > params_.heartbeat_interval);
+}
+
+MembershipMonitor::~MembershipMonitor() {
+  auto& sched = network_.scheduler();
+  sched.cancel_timer(heartbeat_timer_);
+  sched.cancel_timer(check_timer_);
+}
+
+void MembershipMonitor::start() {
+  UGRPC_ASSERT(!started_);
+  started_ = true;
+  const sim::Time now = network_.scheduler().now();
+  for (ProcessId p : watch_) {
+    if (p == endpoint_.process()) continue;  // never monitor oneself
+    peers_.emplace(p, PeerState{now, true});
+  }
+  endpoint_.set_handler(kMembershipProto, [this](net::Packet pkt) -> sim::Task<> {
+    const ProcessId who = decode_heartbeat(pkt.payload);
+    auto it = peers_.find(who);
+    if (it == peers_.end()) co_return;  // not watched
+    it->second.last_heard = network_.scheduler().now();
+    if (!it->second.alive) {
+      it->second.alive = true;
+      UGRPC_LOG(kDebug, "membership@%u: RECOVERY of %u", endpoint_.process().value(),
+                who.value());
+      if (listener_) listener_(who, Change::kRecovery);
+    }
+    co_return;
+  });
+  if (beat_) {
+    send_heartbeat();
+    arm_heartbeat_timer();
+  }
+  arm_check_timer();
+}
+
+void MembershipMonitor::send_heartbeat() {
+  // Heartbeats go to every watched peer; peers that also watch us use them.
+  for (ProcessId p : watch_) {
+    if (p == endpoint_.process()) continue;
+    endpoint_.send(p, kMembershipProto, encode_heartbeat(endpoint_.process()));
+  }
+}
+
+void MembershipMonitor::arm_heartbeat_timer() {
+  heartbeat_timer_ = network_.scheduler().schedule_after(
+      params_.heartbeat_interval,
+      [this] {
+        send_heartbeat();
+        arm_heartbeat_timer();
+      },
+      domain_of(endpoint_.process()));
+}
+
+void MembershipMonitor::check_failures() {
+  const sim::Time now = network_.scheduler().now();
+  for (auto& [who, state] : peers_) {
+    if (state.alive && now - state.last_heard > params_.failure_timeout) {
+      state.alive = false;
+      UGRPC_LOG(kDebug, "membership@%u: FAILURE of %u", endpoint_.process().value(), who.value());
+      if (listener_) listener_(who, Change::kFailure);
+    }
+  }
+}
+
+void MembershipMonitor::arm_check_timer() {
+  check_timer_ = network_.scheduler().schedule_after(
+      params_.heartbeat_interval,
+      [this] {
+        check_failures();
+        arm_check_timer();
+      },
+      domain_of(endpoint_.process()));
+}
+
+std::set<ProcessId> MembershipMonitor::live_members() const {
+  std::set<ProcessId> live;
+  for (ProcessId p : watch_) {
+    if (is_live(p)) live.insert(p);
+  }
+  return live;
+}
+
+bool MembershipMonitor::is_live(ProcessId p) const {
+  if (p == endpoint_.process()) return true;
+  auto it = peers_.find(p);
+  return it != peers_.end() && it->second.alive;
+}
+
+}  // namespace ugrpc::membership

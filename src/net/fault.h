@@ -1,0 +1,27 @@
+// Fault model for the simulated network.
+//
+// The paper assumes an asynchronous system whose communication can suffer
+// omission failures (messages lost) and performance failures (messages
+// late).  FaultSpec expresses both, plus duplication -- reordering arises
+// naturally from randomized per-packet delays.
+#pragma once
+
+#include "sim/time.h"
+
+namespace ugrpc::net {
+
+struct FaultSpec {
+  /// Probability that a transmission is silently dropped (omission failure).
+  double drop_prob = 0.0;
+  /// Probability that a delivered packet is delivered a second time, with an
+  /// independently drawn delay.
+  double dup_prob = 0.0;
+  /// Per-packet latency is uniform in [min_delay, max_delay]; a wide range
+  /// yields reordering (performance failures).
+  sim::Duration min_delay = sim::usec(100);
+  sim::Duration max_delay = sim::usec(500);
+  /// A partitioned link delivers nothing until the partition heals.
+  bool partitioned = false;
+};
+
+}  // namespace ugrpc::net

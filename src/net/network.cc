@@ -1,0 +1,115 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace ugrpc::net {
+
+void Endpoint::set_handler(ProtocolId proto, PacketHandler handler) {
+  handlers_[proto] = std::make_shared<PacketHandler>(std::move(handler));
+}
+
+void Endpoint::clear_handler(ProtocolId proto) { handlers_.erase(proto); }
+
+void Endpoint::send(ProcessId dst, ProtocolId proto, Buffer payload) {
+  net_->transmit(process_, dst, proto, payload);
+}
+
+void Endpoint::multicast(GroupId group, ProtocolId proto, Buffer payload) {
+  for (ProcessId member : net_->group_members(group)) {
+    net_->transmit(process_, member, proto, payload);
+  }
+}
+
+Network::Network(sim::Scheduler& sched) : sched_(sched), rng_(sched.rng().fork()) {}
+
+Endpoint& Network::attach(ProcessId process, DomainId domain) {
+  auto [it, inserted] = endpoints_.try_emplace(process, Endpoint(*this, process, domain));
+  UGRPC_ASSERT(inserted && "process already attached");
+  up_[process] = true;
+  return it->second;
+}
+
+FaultSpec& Network::link(ProcessId from, ProcessId to) {
+  auto [it, inserted] = link_faults_.try_emplace({from, to}, default_faults_);
+  return it->second;
+}
+
+const FaultSpec& Network::faults_for(ProcessId from, ProcessId to) const {
+  auto it = link_faults_.find({from, to});
+  return it != link_faults_.end() ? it->second : default_faults_;
+}
+
+void Network::set_process_up(ProcessId process, bool up) { up_[process] = up; }
+
+bool Network::process_up(ProcessId process) const {
+  auto it = up_.find(process);
+  return it != up_.end() && it->second;
+}
+
+void Network::define_group(GroupId group, std::vector<ProcessId> members) {
+  groups_[group] = std::move(members);
+}
+
+const std::vector<ProcessId>& Network::group_members(GroupId group) const {
+  auto it = groups_.find(group);
+  UGRPC_ASSERT(it != groups_.end() && "unknown group");
+  return it->second;
+}
+
+void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buffer& payload) {
+  ++stats_.sent;
+  if (!process_up(from)) {
+    ++stats_.dropped;
+    return;  // crashed senders produce nothing
+  }
+  const FaultSpec& spec = faults_for(from, to);
+  if (spec.partitioned || rng_.bernoulli(spec.drop_prob)) {
+    ++stats_.dropped;
+    if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDropped);
+    UGRPC_LOG(kTrace, "net: drop %u->%u proto=%u", from.value(), to.value(), proto.value());
+    return;
+  }
+  const auto draw_delay = [&] {
+    return spec.min_delay >= spec.max_delay
+               ? spec.min_delay
+               : sim::Duration{rng_.uniform_int(spec.min_delay, spec.max_delay)};
+  };
+  if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDelivered);
+  schedule_delivery(Packet{from, to, proto, payload}, draw_delay());
+  if (rng_.bernoulli(spec.dup_prob)) {
+    ++stats_.duplicated;
+    if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDuplicated);
+    schedule_delivery(Packet{from, to, proto, payload}, draw_delay());
+  }
+}
+
+void Network::schedule_delivery(Packet packet, sim::Duration delay) {
+  sched_.schedule_after(delay, [this, packet = std::move(packet)]() mutable {
+    auto it = endpoints_.find(packet.dst);
+    if (it == endpoints_.end() || !process_up(packet.dst)) {
+      ++stats_.dropped;
+      return;  // destination crashed while the packet was in flight
+    }
+    Endpoint& ep = it->second;
+    auto handler_it = ep.handlers_.find(packet.proto);
+    if (handler_it == ep.handlers_.end()) {
+      ++stats_.dropped;
+      UGRPC_LOG(kDebug, "net: no handler for proto=%u at %u", packet.proto.value(),
+                packet.dst.value());
+      return;
+    }
+    ++stats_.delivered;
+    // Each delivery runs in its own fiber in the destination's domain, so a
+    // site crash kills in-progress message processing.  The wrapper keeps
+    // the handler object alive for the fiber's lifetime (the coroutine frame
+    // references the closure it was created from).
+    static constexpr auto invoke = [](std::shared_ptr<PacketHandler> handler,
+                                      Packet p) -> sim::Task<> { co_await (*handler)(std::move(p)); };
+    sched_.spawn(invoke(handler_it->second, std::move(packet)), ep.domain_);
+  });
+}
+
+}  // namespace ugrpc::net

@@ -1,0 +1,141 @@
+// Simulated network fabric with x-kernel style demultiplexing.
+//
+// Processes attach to the Network and receive an Endpoint.  A packet sent to
+// a process is, after fault-injection (drop / duplicate / delay), delivered
+// by spawning a fiber in the destination's domain that runs the handler the
+// destination registered for the packet's ProtocolId -- the x-kernel demux
+// step.  Each delivered packet therefore gets its own thread of control,
+// matching the paper's model where message arrival events execute in their
+// own thread.
+//
+// Crash modelling: `set_process_up(p, false)` makes the fabric drop all
+// traffic to and from p (a crashed site neither sends nor receives); the
+// Site layer additionally kills p's fibers and discards its volatile state.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/ids.h"
+#include "net/fault.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace ugrpc::net {
+
+/// A packet in flight: source, destination, demux key, opaque payload.
+struct Packet {
+  ProcessId src;
+  ProcessId dst;
+  ProtocolId proto;
+  Buffer payload;
+};
+
+/// Invoked (in a fresh fiber, in the destination's domain) for each
+/// delivered packet of the registered protocol.
+using PacketHandler = std::function<sim::Task<>(Packet)>;
+
+class Network;
+
+/// A process's attachment point.  Handlers are volatile: a crashing site
+/// clears them and re-registers on recovery.
+class Endpoint {
+ public:
+  /// Registers the upcall for packets demuxed to `proto` (replacing any
+  /// previous handler).
+  void set_handler(ProtocolId proto, PacketHandler handler);
+  void clear_handler(ProtocolId proto);
+  void clear_all_handlers() { handlers_.clear(); }
+
+  void send(ProcessId dst, ProtocolId proto, Buffer payload);
+  /// Sends one copy to every member of `group` (including the sender if it
+  /// is a member), each copy independently subject to link faults.
+  void multicast(GroupId group, ProtocolId proto, Buffer payload);
+
+  [[nodiscard]] ProcessId process() const { return process_; }
+
+ private:
+  friend class Network;
+  Endpoint(Network& net, ProcessId process, DomainId domain)
+      : net_(&net), process_(process), domain_(domain) {}
+
+  Network* net_;
+  ProcessId process_;
+  DomainId domain_;
+  // shared_ptr so an in-flight delivery fiber keeps the handler object (and
+  // thus the coroutine's implicit *this) alive even if the handler is
+  // replaced or cleared mid-flight.
+  std::unordered_map<ProtocolId, std::shared_ptr<PacketHandler>> handlers_;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches a process; `domain` is the scheduler domain its delivery
+  /// fibers run in (killed when the site crashes).  The returned reference
+  /// stays valid for the lifetime of the Network.
+  Endpoint& attach(ProcessId process, DomainId domain);
+
+  /// Faults applied to links without a per-link override.
+  void set_default_faults(const FaultSpec& spec) { default_faults_ = spec; }
+  /// Per-link override; creates the override (copied from the default) on
+  /// first use.  Mutations apply to packets sent afterwards.
+  FaultSpec& link(ProcessId from, ProcessId to);
+
+  /// Marks a process up/down.  Down processes neither send nor receive.
+  void set_process_up(ProcessId process, bool up);
+  [[nodiscard]] bool process_up(ProcessId process) const;
+
+  // ---- groups ----
+  void define_group(GroupId group, std::vector<ProcessId> members);
+  [[nodiscard]] const std::vector<ProcessId>& group_members(GroupId group) const;
+
+  // ---- observability ----
+
+  enum class PacketFate : unsigned char { kDelivered, kDropped, kDuplicated };
+  /// Called once per transmission outcome decision (before delivery delay
+  /// elapses for kDelivered/kDuplicated).  One tracer per fabric; nullptr
+  /// removes it.  For debugging and tests; must not re-enter the Network.
+  using PacketTracer = std::function<void(const Packet&, PacketFate)>;
+  void set_packet_tracer(PacketTracer tracer) { tracer_ = std::move(tracer); }
+
+  // ---- counters (for benches and tests) ----
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  friend class Endpoint;
+
+  void transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buffer& payload);
+  void schedule_delivery(Packet packet, sim::Duration delay);
+  [[nodiscard]] const FaultSpec& faults_for(ProcessId from, ProcessId to) const;
+
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  FaultSpec default_faults_;
+  std::map<std::pair<ProcessId, ProcessId>, FaultSpec> link_faults_;
+  std::unordered_map<ProcessId, Endpoint> endpoints_;
+  std::unordered_map<ProcessId, bool> up_;
+  std::unordered_map<GroupId, std::vector<ProcessId>> groups_;
+  Stats stats_;
+  PacketTracer tracer_;
+};
+
+}  // namespace ugrpc::net

@@ -1,0 +1,72 @@
+// Event identifiers and arguments for the micro-protocol framework.
+//
+// An event is "a change of state potentially of interest to a
+// micro-protocol" (paper section 3).  Events carry one argument -- e.g. the
+// arriving network message -- passed to every handler *by mutable
+// reference*: handlers routinely edit the argument in place (Synchronous
+// Call writes results into the user's message).  EventArg is a checked,
+// non-owning reference wrapper; the dynamic type check turns a mis-wired
+// handler into an immediate assertion instead of silent corruption.
+#pragma once
+
+#include <typeinfo>
+
+#include "common/assert.h"
+#include "common/ids.h"
+
+namespace ugrpc::runtime {
+
+struct EventIdTag {};
+using EventId = ugrpc::detail::TaggedId<EventIdTag, std::uint32_t>;
+
+class EventArg {
+ public:
+  EventArg() = default;
+
+  template <typename T>
+  static EventArg ref(T& value) {
+    EventArg arg;
+    arg.ptr_ = &value;
+    arg.type_ = &typeid(T);
+    return arg;
+  }
+
+  [[nodiscard]] bool empty() const { return ptr_ == nullptr; }
+
+  /// Checked downcast to the payload type the trigger supplied.
+  template <typename T>
+  [[nodiscard]] T& as() const {
+    UGRPC_ASSERT(ptr_ != nullptr && "event carries no argument");
+    UGRPC_ASSERT(*type_ == typeid(T) && "event argument type mismatch");
+    return *static_cast<T*>(ptr_);
+  }
+
+ private:
+  void* ptr_ = nullptr;
+  const std::type_info* type_ = nullptr;
+};
+
+/// Per-invocation context handed to every handler.  `cancel()` implements
+/// the paper's cancel_event(): remaining handlers registered for the current
+/// event are skipped.  Nested triggers get their own context, so cancelling
+/// an inner event never affects the outer one.
+class EventContext {
+ public:
+  explicit EventContext(EventArg arg) : arg_(arg) {}
+
+  [[nodiscard]] const EventArg& arg() const { return arg_; }
+
+  template <typename T>
+  [[nodiscard]] T& arg_as() const {
+    return arg_.as<T>();
+  }
+
+  void cancel() { cancelled_ = true; }
+  [[nodiscard]] bool cancelled() const { return cancelled_; }
+
+ private:
+  EventArg arg_;
+  bool cancelled_ = false;
+};
+
+}  // namespace ugrpc::runtime

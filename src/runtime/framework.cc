@@ -1,0 +1,130 @@
+#include "runtime/framework.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace ugrpc::runtime {
+
+Framework::Framework(sim::Scheduler& sched, DomainId domain) : sched_(sched), domain_(domain) {}
+
+Framework::~Framework() {
+  // A destroyed framework (crashed site) must not leave timers behind: their
+  // callbacks capture `this`.
+  for (TimerId id : live_timeouts_) sched_.cancel_timer(id);
+}
+
+void Framework::define_event(EventId event, std::string name) {
+  event_names_[event] = std::move(name);
+}
+
+HandlerId Framework::register_handler(EventId event, std::string handler_name, int priority,
+                                      Handler fn) {
+  UGRPC_ASSERT(fn != nullptr);
+  UGRPC_ASSERT(priority >= 0 && "priorities are non-negative");
+  const HandlerId id{next_handler_++};
+  const auto key = std::tuple{event, priority, next_seq_++};
+  table_.emplace(key, Registration{id, event, std::move(handler_name), priority,
+                                   std::get<2>(key), std::make_shared<Handler>(std::move(fn))});
+  by_id_.emplace(id, key);
+  return id;
+}
+
+void Framework::deregister(HandlerId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  table_.erase(it->second);
+  by_id_.erase(it);
+}
+
+void Framework::deregister(EventId event, const std::string& handler_name) {
+  for (auto it = table_.lower_bound(std::tuple{event, 0, std::uint64_t{0}}); it != table_.end();) {
+    if (std::get<0>(it->first) != event) break;
+    if (it->second.name == handler_name) {
+      by_id_.erase(it->second.id);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+sim::Task<bool> Framework::trigger(EventId event, EventArg arg) {
+  // Snapshot the chain: handlers registered *during* this trigger do not run
+  // in it, and deregistered ones are skipped via the liveness check below.
+  struct ChainEntry {
+    HandlerId id;
+    std::shared_ptr<Handler> fn;
+    const std::string* name;
+  };
+  std::vector<ChainEntry> chain;
+  for (auto it = table_.lower_bound(std::tuple{event, 0, std::uint64_t{0}}); it != table_.end();
+       ++it) {
+    if (std::get<0>(it->first) != event) break;
+    chain.push_back(ChainEntry{it->second.id, it->second.fn, &it->second.name});
+  }
+
+  EventContext ctx(arg);
+  for (auto& entry : chain) {
+    if (!by_id_.contains(entry.id)) continue;  // deregistered mid-event
+    if (trace_) trace_(sched_.now(), event_name(event), *entry.name);
+    co_await (*entry.fn)(ctx);
+    if (ctx.cancelled()) co_return false;
+  }
+  co_return true;
+}
+
+TimerId Framework::register_timeout(std::string name, sim::Duration delay, TimeoutHandler fn) {
+  UGRPC_ASSERT(fn != nullptr);
+  // The id is assigned by the scheduler; the callback fires exactly once and
+  // spawns a fresh fiber so the timeout handler may block (e.g. Bounded
+  // Termination takes the pRPC mutex).
+  auto shared_fn = std::make_shared<TimeoutHandler>(std::move(fn));
+  // The wrapper coroutine keeps the handler object alive for as long as the
+  // handler body runs: coroutine parameters are copied into the frame,
+  // whereas the closure that a std::function invocation runs on is not.
+  static constexpr auto invoke = [](std::shared_ptr<TimeoutHandler> f) -> sim::Task<> {
+    co_await (*f)();
+  };
+  const TimerId id = sched_.schedule_after(
+      delay, [this, shared_fn, name = std::move(name)]() { sched_.spawn(invoke(shared_fn), domain_); },
+      domain_);
+  // Fired timers linger in this set until cancel/destruction; cancelling an
+  // already-fired timer is a harmless no-op and ids are never reused.
+  live_timeouts_.insert(id);
+  return id;
+}
+
+void Framework::cancel_timeout(TimerId id) {
+  sched_.cancel_timer(id);
+  live_timeouts_.erase(id);
+}
+
+std::vector<Framework::RegistrationInfo> Framework::registrations() const {
+  std::vector<RegistrationInfo> out;
+  out.reserve(table_.size());
+  for (const auto& [key, reg] : table_) {
+    out.push_back(RegistrationInfo{event_name(reg.event), reg.name, reg.priority});
+  }
+  return out;
+}
+
+std::string Framework::event_name(EventId event) const {
+  auto it = event_names_.find(event);
+  if (it != event_names_.end()) return it->second;
+  return "event#" + std::to_string(event.value());
+}
+
+std::size_t Framework::handler_count(EventId event) const {
+  std::size_t n = 0;
+  for (auto it = table_.lower_bound(std::tuple{event, 0, std::uint64_t{0}}); it != table_.end();
+       ++it) {
+    if (std::get<0>(it->first) != event) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ugrpc::runtime

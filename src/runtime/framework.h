@@ -1,0 +1,134 @@
+// The micro-protocol runtime framework (paper section 3).
+//
+// Provides the four operations the paper defines for micro-protocols --
+// register, trigger, deregister, cancel_event -- plus TIMEOUT registration:
+//
+//  * register_handler(event, name, priority, fn): invoke `fn` whenever
+//    `event` is triggered.  Handlers for one event run *sequentially and
+//    blocking* in ascending priority-value order; equal priorities run in
+//    registration order.  Omitting the priority yields kDefaultPriority,
+//    which runs after all explicitly prioritised handlers ("defaults to the
+//    lowest priority").
+//  * trigger(event, arg): runs all handlers registered for `event` (a
+//    coroutine; the caller awaits completion -- "blocking" invocation).
+//    Handlers may suspend (P on a semaphore, calling into the user
+//    protocol); the event chain waits, which is exactly how Serial Execution
+//    serialises calls.
+//  * EventContext::cancel() inside a handler skips the remaining handlers of
+//    the current invocation (cancel_event()).
+//  * register_timeout(name, delay, fn): one-shot handler invoked `delay`
+//    after registration, in a fresh fiber; unlike ordinary registrations it
+//    fires once and is gone (paper: "executed only once after the timeout
+//    period has expired").  Cancelled automatically if the framework is
+//    destroyed first (site crash).
+//
+// The framework also records event names and registrations for
+// introspection (reproduces paper Figure 3's picture of a live composite).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "runtime/event.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace ugrpc::runtime {
+
+/// Handlers registered without an explicit priority run last.
+inline constexpr int kDefaultPriority = 1'000'000;
+
+struct HandlerIdTag {};
+using HandlerId = ugrpc::detail::TaggedId<HandlerIdTag, std::uint64_t>;
+
+using Handler = std::function<sim::Task<>(EventContext&)>;
+/// Timeout handlers take no event argument (paper's TIMEOUT handlers).
+using TimeoutHandler = std::function<sim::Task<>()>;
+
+class Framework {
+ public:
+  Framework(sim::Scheduler& sched, DomainId domain);
+  ~Framework();
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  /// Associates a human-readable name with an event id (introspection only).
+  void define_event(EventId event, std::string name);
+
+  /// Registers `fn` for `event`.  Returns an id usable with deregister().
+  HandlerId register_handler(EventId event, std::string handler_name, int priority, Handler fn);
+  HandlerId register_handler(EventId event, std::string handler_name, Handler fn) {
+    return register_handler(event, std::move(handler_name), kDefaultPriority, std::move(fn));
+  }
+
+  /// Removes a registration.  Safe to call for an already-removed id.  A
+  /// handler deregistered while its event is being triggered no longer runs
+  /// in that invocation (if it has not started yet).
+  void deregister(HandlerId id);
+  /// Paper-style deregistration by (event, handler name).
+  void deregister(EventId event, const std::string& handler_name);
+
+  /// Invokes every handler registered for `event`, in priority order,
+  /// sequentially, awaiting each (blocking sequential invocation).  Returns
+  /// true if the chain ran to completion, false if a handler cancelled it.
+  sim::Task<bool> trigger(EventId event, EventArg arg = {});
+
+  /// One-shot timeout (see file comment).  Returns the timer id; cancel with
+  /// cancel_timeout().
+  TimerId register_timeout(std::string name, sim::Duration delay, TimeoutHandler fn);
+  void cancel_timeout(TimerId id);
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] DomainId domain() const { return domain_; }
+
+  // ---- observability ----
+
+  /// Called immediately before each handler invocation with (virtual time,
+  /// event name, handler name).  One observer per framework; pass nullptr to
+  /// remove.  Intended for tests and debugging dumps -- the observer runs
+  /// synchronously and must not re-enter the framework.
+  using TraceObserver = std::function<void(sim::Time, const std::string& event,
+                                           const std::string& handler)>;
+  void set_trace_observer(TraceObserver observer) { trace_ = std::move(observer); }
+
+  // ---- introspection (Figure 3 reproduction, debugging) ----
+  struct RegistrationInfo {
+    std::string event;
+    std::string handler;
+    int priority;
+  };
+  /// All live registrations, grouped by event, in invocation order.
+  [[nodiscard]] std::vector<RegistrationInfo> registrations() const;
+  [[nodiscard]] std::string event_name(EventId event) const;
+  [[nodiscard]] std::size_t handler_count(EventId event) const;
+
+ private:
+  struct Registration {
+    HandlerId id;
+    EventId event;
+    std::string name;
+    int priority;
+    std::uint64_t seq;
+    std::shared_ptr<Handler> fn;  // shared so in-flight triggers survive deregistration
+  };
+
+  sim::Scheduler& sched_;
+  DomainId domain_;
+  // Sorted invocation order per event: key (priority, seq).
+  std::map<std::tuple<EventId, int, std::uint64_t>, Registration> table_;
+  std::unordered_map<HandlerId, std::tuple<EventId, int, std::uint64_t>> by_id_;
+  std::unordered_map<EventId, std::string> event_names_;
+  std::unordered_set<TimerId> live_timeouts_;
+  TraceObserver trace_;
+  std::uint64_t next_handler_ = 1;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ugrpc::runtime

@@ -1,0 +1,34 @@
+// Base class for micro-protocols.
+//
+// A micro-protocol "implements a well-defined property" and is "structured
+// as a collection of event handlers" (paper section 3).  Concrete
+// micro-protocols register their handlers in start(); the composite protocol
+// calls start() for each configured micro-protocol after all of them have
+// been constructed, so handlers may assume every peer's shared state exists.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "runtime/framework.h"
+
+namespace ugrpc::runtime {
+
+class MicroProtocol {
+ public:
+  explicit MicroProtocol(std::string name) : name_(std::move(name)) {}
+  virtual ~MicroProtocol() = default;
+
+  MicroProtocol(const MicroProtocol&) = delete;
+  MicroProtocol& operator=(const MicroProtocol&) = delete;
+
+  /// Registers event handlers and initializes shared state contributions.
+  virtual void start(Framework& framework) = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ugrpc::runtime

@@ -1,0 +1,85 @@
+// Intrusive doubly-linked list used by the simulator's wait queues.
+//
+// Why intrusive: a suspended coroutine may be destroyed (site crash, orphan
+// kill) while it is parked in a semaphore wait queue or the scheduler's ready
+// list.  Each parked coroutine is represented by a node that lives inside the
+// awaiter object in the coroutine frame; when the frame is destroyed the
+// node's destructor unlinks it, so no queue is ever left holding a dangling
+// pointer.  This property is what makes `Scheduler::kill` safe.
+#pragma once
+
+#include "common/assert.h"
+
+namespace ugrpc::sim {
+
+class ListNode {
+ public:
+  ListNode() = default;
+
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  ~ListNode() { unlink(); }
+
+  [[nodiscard]] bool linked() const { return next_ != nullptr; }
+
+  void unlink() {
+    if (!linked()) return;
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    prev_ = next_ = nullptr;
+  }
+
+ private:
+  template <typename T>
+  friend class IntrusiveList;
+
+  ListNode* prev_ = nullptr;
+  ListNode* next_ = nullptr;
+};
+
+/// FIFO list of T, where T publicly derives from ListNode.  Does not own its
+/// elements; elements remove themselves on destruction.
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  ~IntrusiveList() {
+    // Elements outliving the list would be left with dangling sentinel
+    // pointers; unlink them all defensively.
+    while (!empty()) pop_front();
+  }
+
+  [[nodiscard]] bool empty() const { return head_.next_ == &head_; }
+
+  void push_back(T& elem) {
+    ListNode& node = elem;
+    UGRPC_ASSERT(!node.linked());
+    node.prev_ = head_.prev_;
+    node.next_ = &head_;
+    head_.prev_->next_ = &node;
+    head_.prev_ = &node;
+  }
+
+  /// Removes and returns the oldest element, or nullptr if empty.
+  T* pop_front() {
+    if (empty()) return nullptr;
+    ListNode* node = head_.next_;
+    node->unlink();
+    return static_cast<T*>(node);
+  }
+
+  [[nodiscard]] T* front() { return empty() ? nullptr : static_cast<T*>(head_.next_); }
+
+ private:
+  ListNode head_;
+};
+
+}  // namespace ugrpc::sim

@@ -1,0 +1,197 @@
+// Discrete-event scheduler: the simulator's kernel.
+//
+// The scheduler owns (a) virtual time, (b) a FIFO ready list of suspended
+// coroutines waiting to run "now", (c) a timer heap of callbacks to fire at
+// future virtual times, and (d) the table of spawned fibers.  Execution is
+// single-threaded and cooperative: `step()` resumes one ready coroutine or,
+// if none is ready, advances the clock to the next timer.  Determinism
+// follows from FIFO ready order and (deadline, registration-sequence) timer
+// order.
+//
+// Fibers are the unit of kill: `spawn` creates one from a Task<> and tags it
+// with a DomainId (one domain per simulated site), `kill` destroys a fiber's
+// entire coroutine chain, and `kill_domain` does so for every fiber of a
+// crashing site, also cancelling the site's timers.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/ids.h"
+#include "sim/intrusive_list.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace ugrpc::sim {
+
+/// Domain used by fibers that do not belong to any crashable site.
+inline constexpr DomainId kGlobalDomain{0};
+
+/// A parked coroutine: lives inside an awaiter frame, unlinks itself from
+/// whatever queue holds it when destroyed.  See intrusive_list.h.
+class ScheduleNode : public ListNode {
+ public:
+  std::coroutine_handle<> handle;
+  FiberId fiber;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::uint64_t seed = 1);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  // ---- time ----
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  // ---- fibers ----
+
+  /// Starts a new fiber running `task`, tagged with `domain`.  The task body
+  /// begins executing when the scheduler next runs (not inline).
+  FiberId spawn(Task<> task, DomainId domain = kGlobalDomain);
+
+  /// Destroys a suspended fiber and its whole coroutine chain.  Destructors
+  /// of in-scope locals run; wait-queue entries unlink.  It is a fatal error
+  /// to kill the currently running fiber.  Killing an unknown/finished fiber
+  /// is a no-op (the paper's kill(thread) races with thread completion).
+  void kill(FiberId fiber);
+
+  /// Kills every fiber of `domain` and cancels the domain's timers.  Models
+  /// a site crash: all volatile threads of control vanish.
+  void kill_domain(DomainId domain);
+
+  /// Fiber currently executing (valid only while inside a resumed coroutine).
+  [[nodiscard]] FiberId current_fiber() const { return current_fiber_; }
+  [[nodiscard]] DomainId current_domain() const;
+  [[nodiscard]] bool fiber_alive(FiberId fiber) const { return fibers_.contains(fiber); }
+  [[nodiscard]] std::size_t live_fiber_count() const { return fibers_.size(); }
+
+  // ---- timers ----
+
+  /// Runs `fn` at virtual time now()+delay.  The callback executes inline in
+  /// the scheduler loop (it typically spawns a fiber or releases a
+  /// semaphore).  Returns an id usable with cancel_timer.
+  TimerId schedule_after(Duration delay, std::function<void()> fn,
+                         DomainId domain = kGlobalDomain);
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  void cancel_timer(TimerId id);
+
+  // ---- running ----
+
+  /// Executes one scheduling step.  Returns false when no work remains.
+  bool step();
+
+  /// Runs until the system is quiescent (no ready fibers, no timers).
+  void run();
+
+  /// Runs until quiescent or until virtual time would pass `deadline`;
+  /// in the latter case the clock is left at `deadline`.
+  void run_until(Time deadline);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  // ---- awaitables ----
+
+  /// co_await sched.sleep_for(d): suspends the caller for d of virtual time.
+  [[nodiscard]] auto sleep_for(Duration d);
+
+  /// co_await sched.yield(): re-queues the caller behind other ready fibers.
+  [[nodiscard]] auto yield();
+
+  // ---- internal (used by awaiters and sync primitives) ----
+
+  /// Parks `node` on the ready list, stamping it with the current fiber.
+  void park_ready(ScheduleNode& node, std::coroutine_handle<> h);
+  /// Makes an already-stamped node (from a wait queue) ready to run.
+  void make_ready(ScheduleNode& node) { ready_.push_back(node); }
+
+ private:
+  friend void detail::notify_fiber_finished(Scheduler& sched, FiberId fiber);
+
+  struct FiberState {
+    Task<> task;
+    DomainId domain;
+    ScheduleNode start_node;  // used once, to schedule the initial resume
+  };
+
+  struct TimerEntry {
+    Time deadline;
+    std::uint64_t seq;
+    TimerId id;
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct TimerRecord {
+    std::function<void()> fn;
+    DomainId domain;
+  };
+
+  void fiber_finished(FiberId fiber);
+  bool fire_due_timer();
+
+  Time now_ = kTimeZero;
+  Rng rng_;
+  IntrusiveList<ScheduleNode> ready_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timer_heap_;
+  std::unordered_map<TimerId, TimerRecord> timers_;
+  std::unordered_map<FiberId, FiberState> fibers_;
+  FiberId current_fiber_{0};
+  std::uint64_t next_fiber_ = 1;
+  std::uint64_t next_timer_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::exception_ptr pending_exception_;
+};
+
+inline auto Scheduler::sleep_for(Duration d) {
+  struct SleepAwaiter {
+    Scheduler& sched;
+    Duration delay;
+    ScheduleNode node;
+    TimerId timer{};
+    bool fired = false;
+
+    [[nodiscard]] bool await_ready() const noexcept { return delay <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.handle = h;
+      node.fiber = sched.current_fiber();
+      timer = sched.schedule_after(delay, [this] {
+        fired = true;
+        sched.make_ready(node);
+      });
+    }
+    void await_resume() noexcept {}
+    ~SleepAwaiter() {
+      // Frame destroyed while still sleeping: cancel the timer so its
+      // callback never touches this (freed) awaiter.
+      if (!fired && timer != TimerId{}) sched.cancel_timer(timer);
+    }
+  };
+  return SleepAwaiter{*this, d, {}, {}, false};
+}
+
+inline auto Scheduler::yield() {
+  struct YieldAwaiter {
+    Scheduler& sched;
+    ScheduleNode node;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sched.park_ready(node, h); }
+    void await_resume() const noexcept {}
+  };
+  return YieldAwaiter{*this, {}};
+}
+
+}  // namespace ugrpc::sim

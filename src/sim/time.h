@@ -1,0 +1,26 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is an integer count of microseconds since simulation start; integer
+// arithmetic keeps runs bit-for-bit reproducible across platforms (floating
+// point would not).  Durations are signed so arithmetic composes naturally.
+#pragma once
+
+#include <cstdint>
+
+namespace ugrpc::sim {
+
+/// Absolute virtual time, microseconds since simulation start.
+using Time = std::int64_t;
+/// Time difference, microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeZero = 0;
+
+[[nodiscard]] constexpr Duration usec(std::int64_t n) { return n; }
+[[nodiscard]] constexpr Duration msec(std::int64_t n) { return n * 1000; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) { return n * 1'000'000; }
+
+[[nodiscard]] constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+[[nodiscard]] constexpr double to_msec(Duration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace ugrpc::sim

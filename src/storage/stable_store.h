@@ -1,0 +1,96 @@
+// Simulated stable storage.
+//
+// The paper's Atomic Execution micro-protocol assumes `checkpoint()` /
+// `load(address)` operations against storage that survives crashes, plus
+// "stable variables" whose assignment is atomic.  StableStore models exactly
+// that: one instance per site, owned by the Site object *outside* the
+// volatile protocol stack, so Site::crash() destroys the stack but leaves the
+// store intact.  An optional per-write latency charges virtual time for
+// checkpointing, which the benchmarks use to show the cost of atomic
+// execution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/buffer.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace ugrpc::storage {
+
+/// Address of a stored checkpoint (paper: "address of the storage location").
+struct StableAddressTag {};
+using StableAddress = ugrpc::detail::TaggedId<StableAddressTag, std::uint64_t>;
+
+class StableStore {
+ public:
+  explicit StableStore(sim::Scheduler& sched, sim::Duration write_latency = 0)
+      : sched_(sched), write_latency_(write_latency) {}
+
+  StableStore(const StableStore&) = delete;
+  StableStore& operator=(const StableStore&) = delete;
+
+  // ---- raw key/value area (server applications with stable state) ----
+  void put(const std::string& key, Buffer value) { kv_[key] = std::move(value); }
+  [[nodiscard]] std::optional<Buffer> get(const std::string& key) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return std::nullopt;
+    return it->second;
+  }
+  void erase(const std::string& key) { kv_.erase(key); }
+  [[nodiscard]] bool contains(const std::string& key) const { return kv_.contains(key); }
+  [[nodiscard]] std::size_t key_count() const { return kv_.size(); }
+
+  /// put() that charges the configured write latency to the calling fiber.
+  [[nodiscard]] sim::Task<> put_async(std::string key, Buffer value) {
+    co_await sched_.sleep_for(write_latency_);
+    put(key, std::move(value));
+  }
+
+  // ---- checkpoint area (Atomic Execution) ----
+
+  /// Writes a checkpoint, returning its address.  Old checkpoints are kept
+  /// until released; the caller implements the old/new switch-over.
+  [[nodiscard]] StableAddress store_checkpoint(Buffer snapshot) {
+    const StableAddress addr{next_checkpoint_++};
+    checkpoints_[addr] = std::move(snapshot);
+    return addr;
+  }
+  [[nodiscard]] sim::Task<StableAddress> store_checkpoint_async(Buffer snapshot) {
+    co_await sched_.sleep_for(write_latency_);
+    co_return store_checkpoint(std::move(snapshot));
+  }
+  [[nodiscard]] std::optional<Buffer> load_checkpoint(StableAddress addr) const {
+    auto it = checkpoints_.find(addr);
+    if (it == checkpoints_.end()) return std::nullopt;
+    return it->second;
+  }
+  void release_checkpoint(StableAddress addr) { checkpoints_.erase(addr); }
+  [[nodiscard]] std::size_t checkpoint_count() const { return checkpoints_.size(); }
+
+  // ---- stable variables (atomic assignment, paper section 4.4.5) ----
+  void set_var(const std::string& name, std::uint64_t value) { vars_[name] = value; }
+  [[nodiscard]] std::optional<std::uint64_t> var(const std::string& name) const {
+    auto it = vars_.find(name);
+    if (it == vars_.end()) return std::nullopt;
+    return it->second;
+  }
+  void clear_var(const std::string& name) { vars_.erase(name); }
+
+  [[nodiscard]] sim::Duration write_latency() const { return write_latency_; }
+  void set_write_latency(sim::Duration d) { write_latency_ = d; }
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Duration write_latency_;
+  std::unordered_map<std::string, Buffer> kv_;
+  std::unordered_map<StableAddress, Buffer> checkpoints_;
+  std::unordered_map<std::string, std::uint64_t> vars_;
+  std::uint64_t next_checkpoint_ = 1;
+};
+
+}  // namespace ugrpc::storage

@@ -1,0 +1,137 @@
+// Unit tests for the Buffer byte container and the Writer/Reader codec.
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace ugrpc {
+namespace {
+
+TEST(Buffer, StartsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Codec, RoundTripsUnsignedWidths) {
+  Buffer b;
+  Writer w(b);
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(b);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, RoundTripsSignedExtremes) {
+  Buffer b;
+  Writer w(b);
+  w.i32(std::numeric_limits<std::int32_t>::min());
+  w.i32(-1);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.i64(std::numeric_limits<std::int64_t>::max());
+  Reader r(b);
+  EXPECT_EQ(r.i32(), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(r.i32(), -1);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Codec, RoundTripsDoubles) {
+  Buffer b;
+  Writer w(b);
+  w.f64(3.14159265358979);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  Reader r(b);
+  EXPECT_EQ(r.f64(), 3.14159265358979);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Codec, RoundTripsStringsIncludingEmbeddedNul) {
+  Buffer b;
+  Writer w(b);
+  w.str("");
+  w.str("hello");
+  w.str(std::string("a\0b", 3));
+  Reader r(b);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string("a\0b", 3));
+}
+
+TEST(Codec, RoundTripsNestedRawBuffer) {
+  Buffer inner;
+  Writer wi(inner);
+  wi.u32(77);
+  Buffer outer;
+  Writer wo(outer);
+  wo.str("header");
+  wo.raw(inner.bytes());
+  Reader r(outer);
+  EXPECT_EQ(r.str(), "header");
+  Buffer decoded = r.raw();
+  EXPECT_EQ(decoded, inner);
+  Reader ri(decoded);
+  EXPECT_EQ(ri.u32(), 77u);
+}
+
+TEST(Codec, ReaderThrowsOnTruncatedInteger) {
+  Buffer b;
+  Writer w(b);
+  w.u16(42);
+  Reader r(b);
+  EXPECT_THROW((void)r.u32(), CodecError);
+}
+
+TEST(Codec, ReaderThrowsOnLengthPrefixPastEnd) {
+  Buffer b;
+  Writer w(b);
+  w.u32(1000);  // claims a 1000-byte string, no payload follows
+  Reader r(b);
+  EXPECT_THROW((void)r.str(), CodecError);
+}
+
+TEST(Codec, BooleanRoundTrip) {
+  Buffer b;
+  Writer w(b);
+  w.boolean(true);
+  w.boolean(false);
+  Reader r(b);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+}
+
+TEST(Codec, RemainingTracksConsumption) {
+  Buffer b;
+  Writer w(b);
+  w.u32(1);
+  w.u32(2);
+  Reader r(b);
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u32();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Buffer, EqualityComparesContents) {
+  Buffer a;
+  Buffer b;
+  Writer(a).u32(5);
+  Writer(b).u32(5);
+  EXPECT_EQ(a, b);
+  Writer(b).u8(1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ugrpc

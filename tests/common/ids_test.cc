@@ -1,0 +1,56 @@
+// Unit tests for the tagged-id types and status strings.
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace ugrpc {
+namespace {
+
+TEST(TaggedId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ProcessId, GroupId>);
+  static_assert(!std::is_same_v<CallId, OpId>);
+  static_assert(!std::is_convertible_v<ProcessId, GroupId>);
+  SUCCEED();
+}
+
+TEST(TaggedId, ValueRoundTrip) {
+  const ProcessId p{42};
+  EXPECT_EQ(p.value(), 42u);
+  EXPECT_EQ(ProcessId{}.value(), 0u);
+}
+
+TEST(TaggedId, ComparisonsFollowValues) {
+  EXPECT_EQ(CallId{5}, CallId{5});
+  EXPECT_NE(CallId{5}, CallId{6});
+  EXPECT_LT(CallId{5}, CallId{6});
+  EXPECT_GT(CallId{7}, CallId{6});
+}
+
+TEST(TaggedId, HashableInUnorderedContainers) {
+  std::unordered_set<ProcessId> set;
+  set.insert(ProcessId{1});
+  set.insert(ProcessId{2});
+  set.insert(ProcessId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(ProcessId{2}));
+}
+
+TEST(TaggedId, StreamsAsUnderlyingValue) {
+  std::ostringstream os;
+  os << GroupId{9};
+  EXPECT_EQ(os.str(), "9");
+}
+
+TEST(Status, ToStringCoversAllValues) {
+  EXPECT_EQ(to_string(Status::kOk), "OK");
+  EXPECT_EQ(to_string(Status::kWaiting), "WAITING");
+  EXPECT_EQ(to_string(Status::kTimeout), "TIMEOUT");
+}
+
+}  // namespace
+}  // namespace ugrpc

@@ -1,0 +1,63 @@
+// Unit tests for the leveled logger.
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ugrpc {
+namespace {
+
+std::vector<std::string>& captured() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void capture_sink(LogLevel, std::string_view message) { captured().emplace_back(message); }
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    captured().clear();
+    prev_sink_ = set_log_sink(&capture_sink);
+    prev_level_ = log_level();
+    set_log_level(LogLevel::kTrace);
+  }
+  void TearDown() override {
+    set_log_sink(prev_sink_);
+    set_log_level(prev_level_);
+  }
+  LogSink prev_sink_ = nullptr;
+  LogLevel prev_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, FormatsPrintfStyle) {
+  UGRPC_LOG(kInfo, "call %d to group %s", 7, "replicas");
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0], "call 7 to group replicas");
+}
+
+TEST_F(LogTest, DropsBelowLevel) {
+  set_log_level(LogLevel::kWarn);
+  UGRPC_LOG(kDebug, "invisible");
+  UGRPC_LOG(kWarn, "visible");
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0], "visible");
+}
+
+TEST_F(LogTest, LongMessagesAreNotTruncated) {
+  const std::string big(2000, 'x');
+  UGRPC_LOG(kError, "%s", big.c_str());
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0], big);
+}
+
+TEST_F(LogTest, RestoringNullSinkReturnsToDefault) {
+  LogSink prev = set_log_sink(nullptr);  // back to default stderr sink
+  EXPECT_EQ(prev, &capture_sink);
+  set_log_sink(&capture_sink);
+}
+
+}  // namespace
+}  // namespace ugrpc

@@ -1,0 +1,118 @@
+// Edge cases of the asynchronous call semantics and the client facade.
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+ScenarioParams async_params() {
+  ScenarioParams p;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.acceptance_limit = kAll;
+  return p;
+}
+
+TEST(AsyncEdge, ResultForUnknownIdReturnsImmediatelyWaiting) {
+  Scenario s(async_params());
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    // Never issued: the pRPC table has no such record, so the request falls
+    // through without blocking and the status stays WAITING.
+    r = co_await c.result(s.group(), CallId{987654321});
+  });
+  EXPECT_EQ(r.status, Status::kWaiting);
+}
+
+TEST(AsyncEdge, SecondResultForSameIdReturnsWaiting) {
+  Scenario s(async_params());
+  CallResult first;
+  CallResult second;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallId id = co_await c.begin(s.group(), kOp, num_buf(1));
+    first = co_await c.result(s.group(), id);
+    // The record was consumed by the first request (paper: the record is
+    // removed when the result is retrieved).
+    second = co_await c.result(s.group(), id);
+  });
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(second.status, Status::kWaiting);
+}
+
+TEST(AsyncEdge, BoundedTerminationAppliesToAsyncCalls) {
+  ScenarioParams p = async_params();
+  p.config.termination_bound = sim::msec(150);
+  p.faults.drop_prob = 1.0;
+  Scenario s(std::move(p));
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallId id = co_await c.begin(s.group(), kOp, num_buf(1));
+    r = co_await c.result(s.group(), id);
+  });
+  EXPECT_EQ(r.status, Status::kTimeout)
+      << "the deadline must release a Request blocked on a dead call";
+}
+
+TEST(AsyncEdge, ResultsAreRetrievableInAnyOrder) {
+  Scenario s(async_params());
+  CallResult r_last;
+  CallResult r_first;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallId a = co_await c.begin(s.group(), kOp, num_buf(10));
+    const CallId b = co_await c.begin(s.group(), kOp, num_buf(20));
+    r_last = co_await c.result(s.group(), b);   // newest first
+    r_first = co_await c.result(s.group(), a);
+  });
+  EXPECT_EQ(r_last.status, Status::kOk);
+  EXPECT_EQ(Reader(r_last.result).u64(), 20u);
+  EXPECT_EQ(r_first.status, Status::kOk);
+  EXPECT_EQ(Reader(r_first.result).u64(), 10u);
+}
+
+TEST(AsyncEdge, SyncConfigIgnoresRequestMessages) {
+  ScenarioParams p;  // synchronous configuration
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallResult call = co_await c.call(s.group(), kOp, num_buf(1));
+    EXPECT_EQ(call.status, Status::kOk);
+    // No Asynchronous Call micro-protocol: a Request falls through without
+    // any handler touching it.
+    r = co_await c.result(s.group(), call.id);
+  });
+  EXPECT_EQ(r.status, Status::kWaiting);
+}
+
+TEST(AsyncEdge, AsyncConfigBlocksNobodyOnIssue) {
+  ScenarioParams p = async_params();
+  p.num_servers = 1;
+  p.server_app = [](UserProtocol& user, Site& site) {
+    user.set_procedure([&site](OpId, Buffer&) -> sim::Task<> {
+      co_await site.scheduler().sleep_for(sim::seconds(1));  // very slow server
+    });
+  };
+  Scenario s(std::move(p));
+  int issued = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const sim::Time t0 = s.scheduler().now();
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await c.begin(s.group(), kOp, num_buf(static_cast<unsigned>(i)));
+      ++issued;
+    }
+    EXPECT_EQ(s.scheduler().now(), t0) << "issuing must consume no virtual time";
+  });
+  EXPECT_EQ(issued, 5);
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,237 @@
+// End-to-end tests of the gRPC composite on a fault-free network:
+// synchronous and asynchronous calls, acceptance counting, collation.
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kEcho{1};
+constexpr OpId kAdd{2};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+std::uint64_t num_of(const Buffer& b) { return Reader(b).u64(); }
+
+/// Server app: kEcho echoes; kAdd returns arg + server-id.
+void arithmetic_app(UserProtocol& user, Site& site) {
+  user.set_procedure([&site](OpId op, Buffer& args) -> sim::Task<> {
+    if (op == kAdd) {
+      const std::uint64_t v = num_of(args);
+      args = num_buf(v + site.id().value());
+    }
+    co_return;
+  });
+}
+
+TEST(BasicCall, SynchronousEchoCompletes) {
+  ScenarioParams p;
+  p.config.acceptance_limit = 1;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kEcho, num_buf(42));
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(num_of(result.result), 42u);
+}
+
+TEST(BasicCall, ServerProcedureTransformsArgs) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.server_app = arithmetic_app;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kAdd, num_buf(100));
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(num_of(result.result), 101u);  // server id is 1
+}
+
+TEST(BasicCall, AcceptanceOneExecutesOnAllServersEventually) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = 1;
+  Scenario s(std::move(p));
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    (void)co_await c.call(s.group(), kEcho, num_buf(1));
+  });
+  s.run_until_quiescent();
+  // The multicast reaches every member regardless of the acceptance limit.
+  EXPECT_EQ(s.total_server_executions(), 3u);
+}
+
+TEST(BasicCall, AcceptanceAllWaitsForEveryServer) {
+  ScenarioParams p;
+  p.num_servers = 5;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kEcho, num_buf(7));
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(s.total_server_executions(), 5u);
+}
+
+TEST(BasicCall, SequentialCallsAllComplete) {
+  ScenarioParams p;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  int completed = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (int i = 0; i < 20; ++i) {
+      const CallResult r = co_await c.call(s.group(), kEcho, num_buf(static_cast<unsigned>(i)));
+      if (r.ok() && num_of(r.result) == static_cast<std::uint64_t>(i)) ++completed;
+    }
+  });
+  EXPECT_EQ(completed, 20);
+}
+
+TEST(BasicCall, TwoClientsInterleave) {
+  ScenarioParams p;
+  p.num_clients = 2;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  int done0 = 0;
+  int done1 = 0;
+  auto loop = [&](Client& c, int& done) -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) {
+      const CallResult r = co_await c.call(s.group(), kEcho, num_buf(static_cast<unsigned>(i)));
+      if (r.ok()) ++done;
+    }
+  };
+  s.scheduler().spawn(loop(s.client(0), done0), s.client_site(0).domain());
+  s.scheduler().spawn(loop(s.client(1), done1), s.client_site(1).domain());
+  s.run_until_quiescent();
+  EXPECT_EQ(done0, 10);
+  EXPECT_EQ(done1, 10);
+  // 2 clients x 10 calls x 3 servers.
+  EXPECT_EQ(s.total_server_executions(), 60u);
+}
+
+TEST(BasicCall, CollationFoldsAllReplies) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.server_app = arithmetic_app;
+  p.config.acceptance_limit = kAll;
+  // Sum all replies: acc + reply.
+  p.config.collation = [](const Buffer& acc, const Buffer& reply) {
+    return [&] {
+      Buffer b;
+      Writer(b).u64(num_of(acc) + num_of(reply));
+      return b;
+    }();
+  };
+  Buffer init;
+  Writer(init).u64(0);
+  p.config.collation_init = init;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kAdd, num_buf(10));
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  // Replies are 11, 12, 13 (server ids 1..3): sum = 36.
+  EXPECT_EQ(num_of(result.result), 36u);
+}
+
+TEST(BasicCall, DefaultCollationIsLastReplyWins) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.server_app = arithmetic_app;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kAdd, num_buf(10));
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  const std::uint64_t v = num_of(result.result);
+  EXPECT_TRUE(v == 11 || v == 12 || v == 13) << "got " << v;
+}
+
+TEST(AsyncCall, BeginReturnsImmediatelyResultBlocks) {
+  ScenarioParams p;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  bool began_immediately = false;
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const sim::Time before = s.scheduler().now();
+    const CallId id = co_await c.begin(s.group(), kEcho, num_buf(5));
+    began_immediately = (s.scheduler().now() == before);
+    result = co_await c.result(s.group(), id);
+  });
+  EXPECT_TRUE(began_immediately) << "begin() must not wait for replies";
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(num_of(result.result), 5u);
+}
+
+TEST(AsyncCall, ResultAfterCompletionReturnsInstantly) {
+  ScenarioParams p;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallId id = co_await c.begin(s.group(), kEcho, num_buf(5));
+    co_await s.scheduler().sleep_for(sim::seconds(1));  // let the call finish
+    const sim::Time before = s.scheduler().now();
+    result = co_await c.result(s.group(), id);
+    EXPECT_EQ(s.scheduler().now(), before) << "stored result must return without waiting";
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+}
+
+TEST(AsyncCall, MultipleOutstandingCalls) {
+  ScenarioParams p;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  int ok = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    std::vector<CallId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(co_await c.begin(s.group(), kEcho, num_buf(static_cast<unsigned>(i))));
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const CallResult r = co_await c.result(s.group(), ids[i]);
+      if (r.ok() && num_of(r.result) == i) ++ok;
+    }
+  });
+  EXPECT_EQ(ok, 8);
+}
+
+TEST(BasicCall, SlowServerProcedureBlocksReply) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.server_app = [](UserProtocol& user, Site& site) {
+    user.set_procedure([&site](OpId, Buffer&) -> sim::Task<> {
+      co_await site.scheduler().sleep_for(sim::msec(250));
+    });
+  };
+  Scenario s(std::move(p));
+  CallResult result;
+  sim::Time elapsed = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const sim::Time t0 = s.scheduler().now();
+    result = co_await c.call(s.group(), kEcho, num_buf(1));
+    elapsed = s.scheduler().now() - t0;
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_GE(elapsed, sim::msec(250));
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,108 @@
+// Chaos test: a long randomized schedule of crashes and recoveries layered
+// on a lossy, duplicating, reordering network, with global invariants
+// checked at the end:
+//
+//  * every call the client saw complete (OK) executed at least once
+//    somewhere (the result really came from an execution);
+//  * with unique execution, no completed call executed more than once per
+//    *server incarnation era* is hard to observe from outside, so we check
+//    the stronger end-to-end property the configuration advertises: the
+//    sum of executions of an echo-counter app equals the number of OK calls
+//    (each execution increments exactly one stable counter, checkpointed by
+//    Atomic Execution, so crash rollbacks keep it exact).
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+std::uint64_t read_counter(storage::StableStore& store) {
+  auto v = store.get("count");
+  return v.has_value() ? Reader(*v).u64() : 0;
+}
+
+/// Counts completed executions in stable storage; state hooks make it
+/// atomic across crashes.
+Site::AppSetup counter_app() {
+  return [](UserProtocol& user, Site& site) {
+    user.set_procedure([&site](OpId, Buffer& args) -> sim::Task<> {
+      Buffer b;
+      Writer(b).u64(read_counter(site.stable()) + 1);
+      site.stable().put("count", b);
+      args = b;
+      co_return;
+    });
+    user.set_state_hooks(
+        [&site] {
+          Buffer snap;
+          Writer(snap).u64(read_counter(site.stable()));
+          return snap;
+        },
+        [&site](const Buffer& snap) {
+          Buffer b;
+          Writer(b).u64(Reader(snap).u64());
+          site.stable().put("count", b);
+        });
+  };
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, AtMostOnceCounterStaysExactThroughCrashChurn) {
+  ScenarioParams p;
+  p.num_servers = 1;  // one server: the counter is the single source of truth
+  p.config.acceptance_limit = 1;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  p.config.execution = ExecutionMode::kSerialAtomic;
+  p.config.retrans_timeout = sim::msec(25);
+  p.faults.drop_prob = 0.15;
+  p.faults.dup_prob = 0.15;
+  p.faults.min_delay = sim::usec(100);
+  p.faults.max_delay = sim::msec(5);
+  p.seed = GetParam();
+  p.server_app = counter_app();
+  Scenario s(std::move(p));
+
+  // Crash/recovery churn: every 80ms crash, every 160ms recover.
+  sim::Rng churn_rng(GetParam() * 31 + 7);
+  std::function<void()> schedule_churn = [&] {
+    const auto delay = sim::msec(60 + churn_rng.uniform_int(0, 80));
+    s.scheduler().schedule_after(delay, [&] {
+      if (s.server(0).up()) {
+        s.server(0).crash();
+      } else {
+        s.server(0).recover();
+      }
+      schedule_churn();
+    });
+  };
+  schedule_churn();
+
+  int ok = 0;
+  const int calls = 30;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (int i = 0; i < calls; ++i) {
+      const CallResult r = co_await c.call(s.group(), kOp, Buffer{});
+      if (r.ok()) ++ok;
+      co_await s.scheduler().sleep_for(sim::msec(10));
+    }
+  }, sim::seconds(120));
+  if (!s.server(0).up()) s.server(0).recover();
+  s.run_for(sim::seconds(2));
+
+  EXPECT_EQ(ok, calls) << "unbounded termination + retransmission completes every call";
+  // The exactness invariant: OK calls == counter increments that survived.
+  EXPECT_EQ(read_counter(s.server(0).stable()), static_cast<std::uint64_t>(ok))
+      << "seed " << GetParam()
+      << ": at-most-once across crash churn must keep the stable counter exact";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace ugrpc::core

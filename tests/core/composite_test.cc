@@ -1,0 +1,148 @@
+// Tests of GrpcComposite assembly: which micro-protocols each configuration
+// instantiates, typed accessors, shared-state wiring, and the
+// invalid-configuration guard.
+#include "core/composite.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+bool has_mp(GrpcComposite& comp, const std::string& name) {
+  const auto names = comp.micro_protocol_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST(Composite, MinimalConfigHasBaselineMicroProtocols) {
+  ScenarioParams p;
+  Scenario s(std::move(p));
+  GrpcComposite& comp = s.server(0).grpc();
+  EXPECT_TRUE(has_mp(comp, "RPC Main"));
+  EXPECT_TRUE(has_mp(comp, "Synchronous Call"));
+  EXPECT_TRUE(has_mp(comp, "Collation"));
+  EXPECT_TRUE(has_mp(comp, "Acceptance"));
+  EXPECT_FALSE(has_mp(comp, "Reliable Communication"));
+  EXPECT_FALSE(has_mp(comp, "Unique Execution"));
+  EXPECT_EQ(comp.reliable(), nullptr);
+  EXPECT_EQ(comp.unique(), nullptr);
+  EXPECT_EQ(comp.fifo(), nullptr);
+  EXPECT_EQ(comp.total(), nullptr);
+  EXPECT_EQ(comp.atomic(), nullptr);
+  EXPECT_EQ(comp.bounded(), nullptr);
+  EXPECT_EQ(comp.interference(), nullptr);
+  EXPECT_EQ(comp.terminator(), nullptr);
+}
+
+TEST(Composite, FullyLoadedConfigInstantiatesEverything) {
+  ScenarioParams p;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.orphan = OrphanHandling::kTerminateOrphans;
+  p.config.execution = ExecutionMode::kSerialAtomic;
+  p.config.unique_execution = true;
+  p.config.reliable_communication = true;
+  p.config.ordering = Ordering::kTotal;
+  Scenario s(std::move(p));
+  GrpcComposite& comp = s.server(0).grpc();
+  EXPECT_TRUE(has_mp(comp, "Asynchronous Call"));
+  EXPECT_TRUE(has_mp(comp, "Reliable Communication"));
+  EXPECT_TRUE(has_mp(comp, "Unique Execution"));
+  EXPECT_TRUE(has_mp(comp, "Terminate Orphan"));
+  EXPECT_TRUE(has_mp(comp, "Serial Execution"));
+  EXPECT_TRUE(has_mp(comp, "Atomic Execution"));
+  EXPECT_TRUE(has_mp(comp, "Total Order"));
+  EXPECT_NE(comp.reliable(), nullptr);
+  EXPECT_NE(comp.unique(), nullptr);
+  EXPECT_NE(comp.total(), nullptr);
+  EXPECT_NE(comp.atomic(), nullptr);
+  EXPECT_NE(comp.terminator(), nullptr);
+}
+
+TEST(Composite, HoldArrayReflectsOrderingChoice) {
+  {
+    ScenarioParams p;
+    Scenario s(std::move(p));
+    const HoldArray& hold = s.server(0).grpc().state().HOLD;
+    EXPECT_TRUE(hold[kHoldMain]);
+    EXPECT_FALSE(hold[kHoldFifo]);
+    EXPECT_FALSE(hold[kHoldTotal]);
+  }
+  {
+    ScenarioParams p;
+    p.config.reliable_communication = true;
+    p.config.ordering = Ordering::kFifo;
+    Scenario s(std::move(p));
+    EXPECT_TRUE(s.server(0).grpc().state().HOLD[kHoldFifo]);
+  }
+}
+
+TEST(Composite, InvalidConfigurationIsRejected) {
+  Config bad;
+  bad.ordering = Ordering::kTotal;  // missing reliable + unique
+  ScenarioParams p;
+  p.config = bad;
+  EXPECT_DEATH({ Scenario s(std::move(p)); }, "dependency graph");
+}
+
+TEST(Composite, UnsafeSkipValidationBuildsInvalidConfigs) {
+  // Experiment-only escape hatch used by the Figure 2 harness to
+  // demonstrate broken dependency edges empirically.
+  Config bad;
+  bad.ordering = Ordering::kFifo;  // missing Reliable Communication
+  ASSERT_FALSE(is_valid(bad));
+  bad.unsafe_skip_validation = true;
+  ScenarioParams p;
+  p.config = bad;
+  Scenario s(std::move(p));  // must not abort
+  EXPECT_TRUE(s.server(0).up());
+}
+
+TEST(Composite, NotifyMembershipUpdatesSharedMemberSet) {
+  ScenarioParams p;
+  p.num_servers = 2;
+  Scenario s(std::move(p));
+  GrpcComposite& comp = s.client_site(0).grpc();
+  const ProcessId victim = Scenario::server_id(1);
+  EXPECT_TRUE(comp.state().members.contains(victim));
+  s.scheduler().spawn(comp.notify_membership(victim, membership::Change::kFailure));
+  s.scheduler().run();
+  EXPECT_FALSE(comp.state().members.contains(victim));
+  s.scheduler().spawn(comp.notify_membership(victim, membership::Change::kRecovery));
+  s.scheduler().run();
+  EXPECT_TRUE(comp.state().members.contains(victim));
+}
+
+TEST(Composite, CheckpointParticipantsFollowConfiguration) {
+  {
+    ScenarioParams p;
+    Scenario s(std::move(p));
+    EXPECT_TRUE(s.server(0).grpc().state().checkpoint_participants.empty());
+  }
+  {
+    ScenarioParams p;
+    p.config.reliable_communication = true;
+    p.config.unique_execution = true;
+    p.config.ordering = Ordering::kTotal;
+    Scenario s(std::move(p));
+    // Unique Execution + Total Order both participate.
+    EXPECT_EQ(s.server(0).grpc().state().checkpoint_participants.size(), 2u);
+  }
+}
+
+TEST(Composite, ConfigAccessorReturnsConfiguredValues) {
+  ScenarioParams p;
+  p.config.acceptance_limit = 2;
+  p.config.reliable_communication = true;
+  p.config.retrans_timeout = sim::msec(123);
+  Scenario s(std::move(p));
+  const Config& c = s.server(0).grpc().config();
+  EXPECT_EQ(c.acceptance_limit, 2);
+  EXPECT_EQ(c.retrans_timeout, sim::msec(123));
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,128 @@
+// Tests of the Configurator: dependency validation (paper Figure 4) and the
+// configuration-space enumeration (the paper's 198 services).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/config.h"
+
+namespace ugrpc::core {
+namespace {
+
+Config base_valid() {
+  Config c;  // minimal: sync + ignore orphans + plain + nothing optional
+  return c;
+}
+
+TEST(ConfigValidation, MinimalConfigIsValid) {
+  EXPECT_TRUE(is_valid(base_valid()));
+}
+
+TEST(ConfigValidation, UniqueRequiresReliable) {
+  Config c = base_valid();
+  c.unique_execution = true;
+  auto errors = validate(c);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].rule, "UniqueExecution->ReliableCommunication");
+  c.reliable_communication = true;
+  EXPECT_TRUE(is_valid(c));
+}
+
+TEST(ConfigValidation, FifoRequiresReliable) {
+  Config c = base_valid();
+  c.ordering = Ordering::kFifo;
+  auto errors = validate(c);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].rule, "FifoOrder->ReliableCommunication");
+  c.reliable_communication = true;
+  EXPECT_TRUE(is_valid(c));
+}
+
+TEST(ConfigValidation, TotalRequiresReliableUniqueAndUnbounded) {
+  Config c = base_valid();
+  c.ordering = Ordering::kTotal;
+  c.termination_bound = sim::seconds(1);
+  auto errors = validate(c);
+  std::set<std::string> rules;
+  for (const auto& e : errors) rules.insert(e.rule);
+  EXPECT_TRUE(rules.contains("TotalOrder->ReliableCommunication"));
+  EXPECT_TRUE(rules.contains("TotalOrder->UniqueExecution"));
+  EXPECT_TRUE(rules.contains("TotalOrder-x-BoundedTermination"));
+  c.reliable_communication = true;
+  c.unique_execution = true;
+  c.termination_bound.reset();
+  EXPECT_TRUE(is_valid(c));
+}
+
+TEST(ConfigValidation, AcceptanceLimitMustBePositive) {
+  Config c = base_valid();
+  c.acceptance_limit = 0;
+  EXPECT_FALSE(is_valid(c));
+}
+
+TEST(ConfigValidation, NonPositiveTimeoutsRejected) {
+  Config c = base_valid();
+  c.reliable_communication = true;
+  c.retrans_timeout = 0;
+  EXPECT_FALSE(is_valid(c));
+  c.retrans_timeout = sim::msec(10);
+  c.termination_bound = sim::Duration{0};
+  EXPECT_FALSE(is_valid(c));
+}
+
+TEST(ConfigSpace, PaperReports198Services) {
+  const ConfigSpace space = config_space();
+  EXPECT_EQ(space.call_variants, 2);
+  EXPECT_EQ(space.orphan_variants, 3);
+  EXPECT_EQ(space.execution_variants, 3);
+  EXPECT_EQ(space.comm_combinations, 11)
+      << "unique x reliable x termination x ordering prunes 24 raw combos to 11";
+  EXPECT_EQ(space.total, 198) << "2 x 3 x 3 x 11 = 198 (paper section 5)";
+}
+
+TEST(ConfigSpace, EnumerationContainsOnlyValidAndDistinctConfigs) {
+  const auto configs = enumerate_valid_configs();
+  ASSERT_EQ(configs.size(), 198u);
+  std::set<std::string> seen;
+  for (const Config& c : configs) {
+    EXPECT_TRUE(is_valid(c)) << c.describe();
+    EXPECT_TRUE(seen.insert(c.describe()).second) << "duplicate: " << c.describe();
+  }
+}
+
+TEST(ConfigSpace, ElevenCommCombinationsBreakDownAsExpected)
+{
+  // none: unreliable x {unique? no} x bounded? -> 2; reliable x unique x
+  // bounded -> 4  => 6.  fifo: reliable, unique x bounded -> 4.  total: 1.
+  const auto configs = enumerate_valid_configs();
+  int none = 0;
+  int fifo = 0;
+  int total = 0;
+  for (const Config& c : configs) {
+    if (c.call != CallSemantics::kSynchronous || c.orphan != OrphanHandling::kIgnore ||
+        c.execution != ExecutionMode::kPlain) {
+      continue;  // fix the other dimensions
+    }
+    switch (c.ordering) {
+      case Ordering::kNone: ++none; break;
+      case Ordering::kFifo: ++fifo; break;
+      case Ordering::kTotal: ++total; break;
+    }
+  }
+  EXPECT_EQ(none, 6);
+  EXPECT_EQ(fifo, 4);
+  EXPECT_EQ(total, 1);
+}
+
+TEST(ConfigDescribe, SummarizesChoices) {
+  Config c;
+  c.call = CallSemantics::kAsynchronous;
+  c.ordering = Ordering::kFifo;
+  c.reliable_communication = true;
+  c.termination_bound = sim::seconds(1);
+  EXPECT_EQ(c.describe(),
+            "async|ignore-orphans|plain|non-unique|reliable|fifo|bounded");
+}
+
+}  // namespace
+}  // namespace ugrpc::core

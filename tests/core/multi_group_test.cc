@@ -1,0 +1,97 @@
+// A composite serves whatever group a call names: group identity travels in
+// the messages (msg.server), so one set of sites can host several
+// overlapping server groups simultaneously.
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+constexpr GroupId kSubGroup{2};
+
+TEST(MultiGroup, OverlappingGroupsServeIndependently) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  // Besides the scenario's group {1,2,3}, define a subgroup {1,2}.
+  s.network().define_group(kSubGroup, {Scenario::server_id(0), Scenario::server_id(1)});
+  CallResult full;
+  CallResult sub;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    full = co_await c.call(s.group(), kOp, Buffer{});
+    sub = co_await c.call(kSubGroup, kOp, Buffer{});
+  });
+  s.run_until_quiescent();
+  EXPECT_EQ(full.status, Status::kOk);
+  EXPECT_EQ(sub.status, Status::kOk);
+  // Full group executed once each (3), subgroup only on members 1 and 2.
+  EXPECT_EQ(s.server(0).total_executions(), 2u);
+  EXPECT_EQ(s.server(1).total_executions(), 2u);
+  EXPECT_EQ(s.server(2).total_executions(), 1u);
+}
+
+TEST(MultiGroup, AcceptanceCountsPerGroupMembership) {
+  // acceptance=ALL against the subgroup waits for 2 responses, not 3.
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = kAll;
+  p.server_app = [](UserProtocol& user, Site& site) {
+    // Server 3 would be very slow; the subgroup call must not wait for it.
+    const bool slow = site.id() == Scenario::server_id(2);
+    user.set_procedure([&site, slow](OpId, Buffer&) -> sim::Task<> {
+      if (slow) co_await site.scheduler().sleep_for(sim::seconds(5));
+    });
+  };
+  Scenario s(std::move(p));
+  s.network().define_group(kSubGroup, {Scenario::server_id(0), Scenario::server_id(1)});
+  CallResult sub;
+  sim::Time elapsed = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const sim::Time t0 = s.scheduler().now();
+    sub = co_await c.call(kSubGroup, kOp, Buffer{});
+    elapsed = s.scheduler().now() - t0;
+  }, sim::seconds(30));
+  EXPECT_EQ(sub.status, Status::kOk);
+  EXPECT_LT(elapsed, sim::seconds(1)) << "the subgroup call must not involve the slow server";
+}
+
+TEST(MembershipFalsePositive, LateRepliesFromWronglySuspectedServerAreTolerated) {
+  // An aggressive failure detector declares a slow-but-alive server failed;
+  // Acceptance settles without it.  When its late reply arrives anyway, the
+  // completed call ignores it and nothing corrupts later calls.
+  ScenarioParams p;
+  p.num_servers = 2;
+  p.config.acceptance_limit = kAll;
+  p.config.use_membership = true;
+  p.config.membership_params = {sim::msec(10), sim::msec(60)};
+  p.server_app = [](UserProtocol& user, Site& site) {
+    const bool slow = site.id() == Scenario::server_id(1);
+    user.set_procedure([&site, slow](OpId, Buffer&) -> sim::Task<> {
+      if (slow) co_await site.scheduler().sleep_for(sim::msec(150));
+    });
+  };
+  Scenario s(std::move(p));
+  // Suppress the slow server's heartbeats toward the client only: the
+  // client wrongly suspects it while it stays alive and replies late.
+  s.network().link(Scenario::server_id(1), s.client_id(0)).partitioned = true;
+  s.scheduler().schedule_after(sim::msec(120), [&] {
+    s.network().link(Scenario::server_id(1), s.client_id(0)).partitioned = false;
+  });
+  CallResult first;
+  CallResult second;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    co_await s.scheduler().sleep_for(sim::msec(90));  // let the suspicion form
+    first = co_await c.call(s.group(), kOp, Buffer{});
+    co_await s.scheduler().sleep_for(sim::msec(300));  // late reply lands here
+    second = co_await c.call(s.group(), kOp, Buffer{});
+  }, sim::seconds(30));
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(second.status, Status::kOk) << "the late reply must not poison later calls";
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,80 @@
+// Tests of the Figure 2 property graph data and its consistency with the
+// configurator's dependency rules (Figure 4).
+#include "core/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "core/config.h"
+
+namespace ugrpc::core {
+namespace {
+
+TEST(PropertyGraph, EveryPropertyHasAName) {
+  for (const PropertyEdge& e : property_edges()) {
+    EXPECT_NE(to_string(e.from), "<invalid>");
+    EXPECT_NE(to_string(e.to), "<invalid>");
+    EXPECT_FALSE(e.reason.empty());
+  }
+}
+
+TEST(PropertyGraph, ChoiceGroupsAreDisjoint) {
+  std::set<Property> seen;
+  for (const PropertyChoice& choice : property_choices()) {
+    for (Property p : choice.alternatives) {
+      EXPECT_TRUE(seen.insert(p).second)
+          << to_string(p) << " appears in two choice groups";
+    }
+  }
+}
+
+TEST(PropertyGraph, OrderingEdgesMatchConfiguratorRules) {
+  // Figure 2's FIFO->Reliable and Total->Reliable edges must be enforced by
+  // the configurator.
+  const auto has_edge = [](Property from, Property to) {
+    for (const PropertyEdge& e : property_edges()) {
+      if (e.from == from && e.to == to) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_edge(Property::kFifoOrder, Property::kReliableCommunication));
+  ASSERT_TRUE(has_edge(Property::kTotalOrder, Property::kReliableCommunication));
+
+  Config fifo;
+  fifo.ordering = Ordering::kFifo;
+  EXPECT_FALSE(is_valid(fifo));
+  Config total;
+  total.ordering = Ordering::kTotal;
+  EXPECT_FALSE(is_valid(total));
+}
+
+TEST(PropertyGraph, NoSelfDependencies) {
+  for (const PropertyEdge& e : property_edges()) {
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(PropertyGraph, GraphIsAcyclic) {
+  // DFS over the edge list; the dependency relation must have no cycles.
+  std::set<Property> visiting;
+  std::set<Property> done;
+  const auto edges = property_edges();
+  std::function<bool(Property)> has_cycle = [&](Property p) {
+    if (done.contains(p)) return false;
+    if (!visiting.insert(p).second) return true;
+    for (const PropertyEdge& e : edges) {
+      if (e.from == p && has_cycle(e.to)) return true;
+    }
+    visiting.erase(p);
+    done.insert(p);
+    return false;
+  };
+  for (const PropertyEdge& e : edges) {
+    EXPECT_FALSE(has_cycle(e.from)) << "cycle through " << to_string(e.from);
+  }
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,187 @@
+// Property-based sweeps: protocol invariants checked across randomized
+// fault schedules (seeds x fault intensities), using parameterized gtest.
+//
+// Invariants:
+//  * exactly-once: with Unique Execution + Reliable Communication, every
+//    completed call executed exactly once per server, for any loss/dup mix.
+//  * total order: execution logs of all servers are identical, for any seed.
+//  * fifo order: per-client issue order is preserved at every server.
+//  * acceptance: a call completes only after >= k distinct server replies.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+// ---- exactly-once under loss+duplication ----
+
+using FaultPoint = std::tuple<std::uint64_t /*seed*/, double /*drop*/, double /*dup*/>;
+
+class ExactlyOnceSweep : public ::testing::TestWithParam<FaultPoint> {};
+
+TEST_P(ExactlyOnceSweep, EveryCallExecutesOncePerServer) {
+  const auto [seed, drop, dup] = GetParam();
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = kAll;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  p.config.retrans_timeout = sim::msec(20);
+  p.faults.drop_prob = drop;
+  p.faults.dup_prob = dup;
+  p.seed = seed;
+  Scenario s(std::move(p));
+  const int calls = 12;
+  int ok = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (int i = 0; i < calls; ++i) {
+      const CallResult r = co_await c.call(s.group(), kOp, num_buf(static_cast<unsigned>(i)));
+      if (r.ok()) ++ok;
+    }
+  }, sim::seconds(120));
+  s.run_for(sim::seconds(2));  // drain trailing duplicates
+  EXPECT_EQ(ok, calls) << "seed=" << seed << " drop=" << drop << " dup=" << dup;
+  EXPECT_EQ(s.total_server_executions(), static_cast<std::uint64_t>(calls) * 3)
+      << "seed=" << seed << " drop=" << drop << " dup=" << dup;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultGrid, ExactlyOnceSweep,
+    ::testing::Combine(::testing::Values(1, 7, 42, 1234), ::testing::Values(0.0, 0.15, 0.3),
+                       ::testing::Values(0.0, 0.25, 0.5)));
+
+// ---- total order identical logs across seeds ----
+
+class TotalOrderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TotalOrderSweep, AllServersShareOneExecutionSequence) {
+  std::map<std::uint32_t, std::vector<std::uint64_t>> logs;
+  ScenarioParams p;
+  p.num_servers = 4;
+  p.num_clients = 2;
+  p.config.acceptance_limit = kAll;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  p.config.retrans_timeout = sim::msec(30);
+  p.config.ordering = Ordering::kTotal;
+  p.faults.min_delay = sim::usec(50);
+  p.faults.max_delay = sim::msec(20);
+  p.faults.drop_prob = 0.1;
+  p.seed = GetParam();
+  p.server_app = [&logs](UserProtocol& user, Site& site) {
+    user.set_procedure([&logs, &site](OpId, Buffer& args) -> sim::Task<> {
+      logs[site.id().value()].push_back(Reader(args).u64());
+      co_return;
+    });
+  };
+  Scenario s(std::move(p));
+  auto burst = [&](Client& c, std::uint64_t base) -> sim::Task<> {
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      (void)co_await c.begin(s.group(), kOp, num_buf(base + i));
+    }
+  };
+  s.scheduler().spawn(burst(s.client(0), 100), s.client_site(0).domain());
+  s.scheduler().spawn(burst(s.client(1), 200), s.client_site(1).domain());
+  s.run_for(sim::seconds(30));
+  ASSERT_EQ(logs.size(), 4u);
+  const auto& reference = logs.begin()->second;
+  EXPECT_EQ(reference.size(), 24u);
+  for (const auto& [server, log] : logs) {
+    EXPECT_EQ(log, reference) << "server " << server << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TotalOrderSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---- fifo order across seeds ----
+
+class FifoOrderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FifoOrderSweep, PerClientOrderHoldsAtEveryServer) {
+  std::map<std::uint32_t, std::vector<std::uint64_t>> logs;
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = kAll;
+  p.config.call = CallSemantics::kAsynchronous;
+  p.config.reliable_communication = true;
+  p.config.retrans_timeout = sim::msec(30);
+  p.config.ordering = Ordering::kFifo;
+  p.faults.min_delay = sim::usec(50);
+  p.faults.max_delay = sim::msec(15);
+  p.faults.drop_prob = 0.1;
+  p.seed = GetParam();
+  p.server_app = [&logs](UserProtocol& user, Site& site) {
+    user.set_procedure([&logs, &site](OpId, Buffer& args) -> sim::Task<> {
+      logs[site.id().value()].push_back(Reader(args).u64());
+      co_return;
+    });
+  };
+  Scenario s(std::move(p));
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      (void)co_await c.begin(s.group(), kOp, num_buf(i));
+    }
+  });
+  s.run_for(sim::seconds(30));
+  for (const auto& [server, log] : logs) {
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      ASSERT_LT(log[i - 1], log[i])
+          << "server " << server << " executed out of order, seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FifoOrderSweep, ::testing::Values(3, 11, 17, 29, 31, 47));
+
+// ---- acceptance counting ----
+
+class AcceptanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcceptanceSweep, CompletionWaitsForKDistinctReplies) {
+  const int k = GetParam();
+  // Server i replies after (i-1)*5ms; with acceptance k, the call's latency
+  // must be >= the k-th fastest server's delay and < the (k+1)-th's.
+  ScenarioParams p;
+  p.num_servers = 5;
+  p.config.acceptance_limit = k;
+  p.server_app = [](UserProtocol& user, Site& site) {
+    const sim::Duration think = sim::msec(5) * (site.id().value() - 1);
+    user.set_procedure([&site, think](OpId, Buffer&) -> sim::Task<> {
+      co_await site.scheduler().sleep_for(think);
+    });
+  };
+  Scenario s(std::move(p));
+  sim::Time elapsed = 0;
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const sim::Time t0 = s.scheduler().now();
+    result = co_await c.call(s.group(), kOp, Buffer{});
+    elapsed = s.scheduler().now() - t0;
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_GE(elapsed, sim::msec(5) * (k - 1)) << "returned before the k-th reply";
+  if (k < 5) {
+    EXPECT_LT(elapsed, sim::msec(5) * k + sim::msec(2)) << "waited past the k-th reply";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, AcceptanceSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,204 @@
+// Regression tests for composition hazards found while building the system.
+// Each test pins a specific interaction between micro-protocols that the
+// paper's pseudocode leaves unresolved (documented in DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+#include "core/micro/unique_execution.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+// Hazard 1: Total Order's early duplicate-cancel used to run before Unique
+// Execution could resend a stored result.  A client whose Reply is lost
+// must recover via retransmission even for a call the server has already
+// executed and advanced past in the total order.
+TEST(Regression, TotalOrderDoesNotSuppressStoredResultResend) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  p.config.retrans_timeout = sim::msec(25);
+  p.config.ordering = Ordering::kTotal;
+  Scenario s(std::move(p));
+  const ProcessId server = Scenario::server_id(0);
+  const ProcessId client = s.client_id(0);
+  // First call completes normally (advances next_entry past its order),
+  // then the reverse path is cut so the second call's Reply is lost.
+  CallResult first;
+  CallResult second;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    first = co_await c.call(s.group(), kOp, num_buf(1));
+    s.network().link(server, client).partitioned = true;
+    s.scheduler().schedule_after(sim::msec(120), [&] {
+      s.network().link(server, client).partitioned = false;
+    });
+    second = co_await c.call(s.group(), kOp, num_buf(2));
+  }, sim::seconds(30));
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(second.status, Status::kOk)
+      << "retransmission must obtain the stored result after the partition heals";
+  EXPECT_EQ(s.total_server_executions(), 2u) << "the resend must not re-execute";
+}
+
+// Hazard 2: Interference Avoidance's deferral relies on retransmissions
+// re-delivering the new incarnation's call.  If Unique Execution saw the
+// call first it would eat every retransmission as a duplicate.  (Fixed by
+// running orphan handling before unique execution on MSG_FROM_NETWORK.)
+TEST(Regression, DeferredNewIncarnationCallIsEventuallyAdmitted) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  p.config.retrans_timeout = sim::msec(30);
+  p.config.orphan = OrphanHandling::kInterferenceAvoidance;
+  p.server_app = [](UserProtocol& user, Site& site) {
+    user.set_procedure([&site](OpId, Buffer&) -> sim::Task<> {
+      co_await site.scheduler().sleep_for(sim::msec(80));  // long enough to orphan
+    });
+  };
+  Scenario s(std::move(p));
+  Site& client_site = s.client_site(0);
+  s.scheduler().schedule_after(sim::msec(10), [&] { client_site.crash(); });
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    (void)co_await c.call(s.group(), kOp, num_buf(1));
+  });
+  client_site.recover();
+  Client fresh(client_site);
+  CallResult second;
+  auto driver = [&](Client& c) -> sim::Task<> {
+    second = co_await c.call(s.group(), kOp, num_buf(2));
+  };
+  s.scheduler().spawn(driver(fresh), client_site.domain());
+  s.run_for(sim::seconds(3));
+  EXPECT_EQ(second.status, Status::kOk);
+  EXPECT_EQ(s.total_server_executions(), 2u);
+}
+
+// Hazard 3: call-id reuse across client incarnations.  Without
+// incarnation-salted ids, the recovered client's first call would collide
+// with its orphaned call and be answered with the orphan's stored result.
+TEST(Regression, RecoveredClientCallIdsDoNotCollideWithOrphans) {
+  EXPECT_NE(first_seq_of_incarnation(1), first_seq_of_incarnation(2));
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  Scenario s(std::move(p));
+  Site& client_site = s.client_site(0);
+  // Issue call, crash before reply lands, recover, issue a different call.
+  s.scheduler().schedule_after(sim::usec(50), [&] { client_site.crash(); });
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    (void)co_await c.call(s.group(), kOp, num_buf(111));
+  });
+  client_site.recover();
+  Client fresh(client_site);
+  CallResult result;
+  auto driver = [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kOp, num_buf(222));
+  };
+  s.scheduler().spawn(driver(fresh), client_site.domain());
+  s.run_for(sim::seconds(2));
+  EXPECT_EQ(result.status, Status::kOk);
+  // Echo server: the result must be the NEW call's argument, not the
+  // orphan's stored result.
+  EXPECT_EQ(Reader(result.result).u64(), 222u);
+}
+
+// Hazard 4: Collation folding a duplicated Reply twice.  With Collation
+// running before Acceptance it must itself skip replies already counted.
+TEST(Regression, DuplicatedReplyIsCollatedOnce) {
+  ScenarioParams p;
+  p.num_servers = 2;
+  p.config.acceptance_limit = kAll;
+  p.config.reliable_communication = true;
+  p.config.unique_execution = true;
+  // Sum-collation makes double-folding visible.
+  p.config.collation = [](const Buffer& acc, const Buffer& reply) {
+    Buffer b;
+    Writer(b).u64(Reader(acc).u64() + Reader(reply).u64());
+    return b;
+  };
+  p.config.collation_init = num_buf(0);
+  p.faults.dup_prob = 1.0;  // every packet (including replies) duplicated
+  p.seed = 9;
+  Scenario s(std::move(p));
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kOp, num_buf(10));
+  });
+  s.run_for(sim::seconds(1));
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(Reader(result.result).u64(), 20u) << "10+10 exactly once per server";
+}
+
+// Hazard 5: late replies after acceptance must not V the client semaphore
+// again (the paper V's unconditionally).  A subsequent call on the same
+// client must genuinely wait rather than consuming a stale token.
+TEST(Regression, LateRepliesDoNotLeaveStaleSemaphoreTokens) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.config.acceptance_limit = 1;  // accepted on the first reply; 2 arrive late
+  p.server_app = [](UserProtocol& user, Site& site) {
+    // Heterogeneous delays so replies straggle.
+    const sim::Duration think = sim::msec(3) * (site.id().value() - 1);
+    user.set_procedure([&site, think](OpId, Buffer&) -> sim::Task<> {
+      co_await site.scheduler().sleep_for(think);
+    });
+  };
+  Scenario s(std::move(p));
+  sim::Time second_elapsed = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    (void)co_await c.call(s.group(), kOp, num_buf(1));
+    co_await s.scheduler().sleep_for(sim::msec(50));  // stragglers land now
+    const sim::Time t0 = s.scheduler().now();
+    (void)co_await c.call(s.group(), kOp, num_buf(2));
+    second_elapsed = s.scheduler().now() - t0;
+  });
+  EXPECT_GT(second_elapsed, sim::usec(100))
+      << "the second call must actually wait for its own reply";
+}
+
+// Hazard 6: retransmissions must carry the original request bytes, not the
+// collation accumulator (the paper shares one args field for both).
+TEST(Regression, RetransmissionCarriesOriginalRequest) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.config.reliable_communication = true;
+  p.config.retrans_timeout = sim::msec(20);
+  // A collation init that would be visibly wrong as a request.
+  p.config.collation = last_reply_collation();
+  p.config.collation_init = num_buf(999);
+  p.seed = 4;
+  Scenario s(std::move(p));
+  const ProcessId server = Scenario::server_id(0);
+  const ProcessId client = s.client_id(0);
+  // Drop the first transmission deterministically: partition briefly.
+  s.network().link(client, server).partitioned = true;
+  s.scheduler().schedule_after(sim::msec(50), [&] {
+    s.network().link(client, server).partitioned = false;
+  });
+  CallResult result;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    result = co_await c.call(s.group(), kOp, num_buf(77));
+  });
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(Reader(result.result).u64(), 77u)
+      << "the retransmitted (echoed) request must be the original argument";
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,101 @@
+// Tests for the workload driver and latency statistics.
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+
+namespace ugrpc::core {
+namespace {
+
+TEST(LatencyRecorder, EmptyReportsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.mean_ms(), 0.0);
+  EXPECT_EQ(rec.percentile_ms(0.99), 0.0);
+  EXPECT_EQ(rec.max_ms(), 0.0);
+}
+
+TEST(LatencyRecorder, MeanAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(sim::msec(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.mean_ms(), 50.5, 0.01);
+  EXPECT_NEAR(rec.percentile_ms(0.0), 1.0, 0.01);
+  EXPECT_NEAR(rec.percentile_ms(0.5), 51.0, 1.5);
+  EXPECT_NEAR(rec.percentile_ms(1.0), 100.0, 0.01);
+  EXPECT_NEAR(rec.max_ms(), 100.0, 0.01);
+}
+
+TEST(LatencyRecorder, PercentileOfSingleSample) {
+  LatencyRecorder rec;
+  rec.record(sim::msec(7));
+  EXPECT_NEAR(rec.percentile_ms(0.5), 7.0, 0.01);
+  EXPECT_NEAR(rec.percentile_ms(0.99), 7.0, 0.01);
+}
+
+TEST(ClosedLoopWorkload, CompletesAllCallsAndReportsThroughput) {
+  ScenarioParams p;
+  p.num_servers = 3;
+  p.num_clients = 4;
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  WorkloadParams w;
+  w.calls_per_client = 20;
+  const WorkloadReport report = run_closed_loop(s, w);
+  EXPECT_EQ(report.calls_ok, 80u);
+  EXPECT_EQ(report.calls_failed, 0u);
+  EXPECT_EQ(report.latency.count(), 80u);
+  EXPECT_GT(report.throughput_per_sec(), 0.0);
+  EXPECT_GT(report.latency.mean_ms(), 0.0);
+}
+
+TEST(ClosedLoopWorkload, ThinkTimeSlowsThroughput) {
+  const auto run_with_think = [](sim::Duration think) {
+    ScenarioParams p;
+    p.num_servers = 1;
+    p.config.acceptance_limit = 1;
+    Scenario s(std::move(p));
+    WorkloadParams w;
+    w.calls_per_client = 10;
+    w.think_time = think;
+    return run_closed_loop(s, w).throughput_per_sec();
+  };
+  EXPECT_GT(run_with_think(0), run_with_think(sim::msec(10)) * 2);
+}
+
+TEST(ClosedLoopWorkload, FailedCallsAreCounted) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config.acceptance_limit = 1;
+  p.config.termination_bound = sim::msec(50);
+  p.faults.drop_prob = 1.0;
+  Scenario s(std::move(p));
+  WorkloadParams w;
+  w.calls_per_client = 5;
+  const WorkloadReport report = run_closed_loop(s, w);
+  EXPECT_EQ(report.calls_ok, 0u);
+  EXPECT_EQ(report.calls_failed, 5u);
+}
+
+TEST(ClosedLoopWorkload, MakeArgsReceivesClientAndCallIndices) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.num_clients = 2;
+  p.config.acceptance_limit = 1;
+  Scenario s(std::move(p));
+  WorkloadParams w;
+  w.calls_per_client = 3;
+  std::set<std::pair<int, int>> seen;
+  w.make_args = [&seen](int client, int call) {
+    seen.insert({client, call});
+    return Buffer{};
+  };
+  (void)run_closed_loop(s, w);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.contains({0, 0}));
+  EXPECT_TRUE(seen.contains({1, 2}));
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,0 +1,93 @@
+// Unit tests for the intrusive list underpinning the wait queues.
+#include "sim/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace ugrpc::sim {
+namespace {
+
+struct Node : ListNode {
+  explicit Node(int v) : value(v) {}
+  int value;
+};
+
+TEST(IntrusiveList, FifoOrder) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  Node b(2);
+  Node c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.pop_front()->value, 1);
+  EXPECT_EQ(list.pop_front()->value, 2);
+  EXPECT_EQ(list.pop_front()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveList, NodeDestructorUnlinks) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  list.push_back(a);
+  {
+    Node b(2);
+    list.push_back(b);
+    EXPECT_TRUE(b.linked());
+  }  // b destroyed while linked: must unlink itself
+  EXPECT_EQ(list.pop_front()->value, 1);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, ManualUnlinkFromMiddle) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  Node b(2);
+  Node c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  b.unlink();
+  EXPECT_FALSE(b.linked());
+  EXPECT_EQ(list.pop_front()->value, 1);
+  EXPECT_EQ(list.pop_front()->value, 3);
+}
+
+TEST(IntrusiveList, UnlinkIsIdempotent) {
+  Node a(1);
+  a.unlink();
+  a.unlink();
+  EXPECT_FALSE(a.linked());
+}
+
+TEST(IntrusiveList, ReinsertAfterPop) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  list.push_back(a);
+  Node* popped = list.pop_front();
+  EXPECT_FALSE(popped->linked());
+  list.push_back(*popped);
+  EXPECT_EQ(list.front()->value, 1);
+}
+
+TEST(IntrusiveList, ListDestructorUnlinksSurvivors) {
+  Node a(1);
+  {
+    IntrusiveList<Node> list;
+    list.push_back(a);
+  }  // list destroyed first
+  EXPECT_FALSE(a.linked()) << "destroying the list must not leave dangling sentinel links";
+}
+
+TEST(SimTime, ConversionHelpers) {
+  EXPECT_EQ(usec(5), 5);
+  EXPECT_EQ(msec(5), 5000);
+  EXPECT_EQ(seconds(5), 5'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_msec(msec(3)), 3.0);
+}
+
+}  // namespace
+}  // namespace ugrpc::sim

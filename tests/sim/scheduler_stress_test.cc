@@ -1,0 +1,107 @@
+// Stress tests for the scheduler: many fibers, many timers, heavy
+// kill/spawn churn.  These guard against accidental O(n^2) blowups and
+// bookkeeping leaks in the simulation kernel.
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+
+namespace ugrpc::sim {
+namespace {
+
+Task<> ping_pong(Semaphore& mine, Semaphore& theirs, int rounds, int& count) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await mine.acquire();
+    ++count;
+    theirs.release();
+  }
+}
+
+TEST(SchedulerStress, TenThousandFibersComplete) {
+  Scheduler sched;
+  int completed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sched.spawn([](Scheduler& s, int& done, int delay) -> Task<> {
+      co_await s.sleep_for(usec(delay));
+      ++done;
+    }(sched, completed, i % 100));
+  }
+  sched.run();
+  EXPECT_EQ(completed, 10000);
+  EXPECT_EQ(sched.live_fiber_count(), 0u);
+}
+
+TEST(SchedulerStress, PingPongManyRounds) {
+  Scheduler sched;
+  Semaphore a(sched, 1);
+  Semaphore b(sched, 0);
+  int count_a = 0;
+  int count_b = 0;
+  const int rounds = 5000;
+  sched.spawn(ping_pong(a, b, rounds, count_a));
+  sched.spawn(ping_pong(b, a, rounds, count_b));
+  sched.run();
+  EXPECT_EQ(count_a, rounds);
+  EXPECT_EQ(count_b, rounds);
+}
+
+TEST(SchedulerStress, MassTimerCancellation) {
+  Scheduler sched;
+  int fired = 0;
+  std::vector<TimerId> timers;
+  timers.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    timers.push_back(sched.schedule_after(msec(i + 1), [&] { ++fired; }));
+  }
+  // Cancel every other timer.
+  for (std::size_t i = 0; i < timers.size(); i += 2) sched.cancel_timer(timers[i]);
+  sched.run();
+  EXPECT_EQ(fired, 2500);
+}
+
+TEST(SchedulerStress, KillChurn) {
+  Scheduler sched;
+  Semaphore never(sched, 0);
+  std::vector<FiberId> victims;
+  for (int round = 0; round < 50; ++round) {
+    victims.clear();
+    for (int i = 0; i < 100; ++i) {
+      victims.push_back(sched.spawn([](Semaphore& sem) -> Task<> { co_await sem.acquire(); }(never)));
+    }
+    sched.run();  // all fibers park on the semaphore
+    for (FiberId f : victims) sched.kill(f);
+    EXPECT_EQ(sched.live_fiber_count(), 0u);
+  }
+  EXPECT_FALSE(never.has_waiters());
+}
+
+TEST(SchedulerStress, DomainKillWithMixedDomains) {
+  Scheduler sched;
+  Semaphore never(sched, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const DomainId domain{static_cast<std::uint32_t>(i % 10 + 1)};
+    sched.spawn([](Semaphore& sem) -> Task<> { co_await sem.acquire(); }(never), domain);
+  }
+  sched.run();
+  for (std::uint32_t d = 1; d <= 5; ++d) sched.kill_domain(DomainId{d});
+  EXPECT_EQ(sched.live_fiber_count(), 500u);
+  for (std::uint32_t d = 6; d <= 10; ++d) sched.kill_domain(DomainId{d});
+  EXPECT_EQ(sched.live_fiber_count(), 0u);
+}
+
+TEST(SchedulerStress, TimersInterleavedWithFibers) {
+  Scheduler sched;
+  std::uint64_t work = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_after(usec(i * 7 % 997), [&] { ++work; });
+    sched.spawn([](Scheduler& s, std::uint64_t& w, int n) -> Task<> {
+      co_await s.sleep_for(usec(n * 13 % 991));
+      ++w;
+    }(sched, work, i));
+  }
+  sched.run();
+  EXPECT_EQ(work, 2000u);
+}
+
+}  // namespace
+}  // namespace ugrpc::sim

@@ -1,0 +1,265 @@
+// Unit tests for the discrete-event scheduler: fiber lifecycle, virtual
+// time, timers, kill semantics, and determinism.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/sync.h"
+
+namespace ugrpc::sim {
+namespace {
+
+Task<> append_value(std::vector<int>& out, int value) {
+  out.push_back(value);
+  co_return;
+}
+
+TEST(Scheduler, SpawnedFiberRunsOnStep) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.spawn(append_value(out, 1));
+  EXPECT_TRUE(out.empty()) << "spawn must not run the fiber inline";
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1}));
+}
+
+TEST(Scheduler, FibersRunInSpawnOrder) {
+  Scheduler sched;
+  std::vector<int> out;
+  for (int i = 0; i < 5; ++i) sched.spawn(append_value(out, i));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({0, 1, 2, 3, 4}));
+}
+
+Task<> sleeper(Scheduler& sched, std::vector<Time>& out, Duration d) {
+  co_await sched.sleep_for(d);
+  out.push_back(sched.now());
+}
+
+TEST(Scheduler, SleepAdvancesVirtualTime) {
+  Scheduler sched;
+  std::vector<Time> wake_times;
+  sched.spawn(sleeper(sched, wake_times, msec(5)));
+  sched.spawn(sleeper(sched, wake_times, msec(2)));
+  sched.run();
+  ASSERT_EQ(wake_times.size(), 2u);
+  EXPECT_EQ(wake_times[0], msec(2));
+  EXPECT_EQ(wake_times[1], msec(5));
+  EXPECT_EQ(sched.now(), msec(5));
+}
+
+TEST(Scheduler, SleepZeroDoesNotSuspend) {
+  Scheduler sched;
+  std::vector<Time> wake_times;
+  sched.spawn(sleeper(sched, wake_times, 0));
+  sched.run();
+  ASSERT_EQ(wake_times.size(), 1u);
+  EXPECT_EQ(wake_times[0], kTimeZero);
+}
+
+TEST(Scheduler, TimersFireInDeadlineThenRegistrationOrder) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.schedule_after(msec(3), [&] { out.push_back(3); });
+  sched.schedule_after(msec(1), [&] { out.push_back(1); });
+  sched.schedule_after(msec(3), [&] { out.push_back(4); });  // same deadline, later reg
+  sched.schedule_after(msec(2), [&] { out.push_back(2); });
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancelledTimerDoesNotFire) {
+  Scheduler sched;
+  int fired = 0;
+  TimerId id = sched.schedule_after(msec(1), [&] { ++fired; });
+  sched.cancel_timer(id);
+  sched.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sched.now(), kTimeZero) << "cancelled timer must not advance time";
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_after(msec(10), [&] { ++fired; });
+  sched.run_until(msec(4));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sched.now(), msec(4));
+  sched.run_until(msec(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), msec(20));
+}
+
+Task<> nested_child(std::vector<int>& out) {
+  out.push_back(2);
+  co_return;
+}
+
+Task<int> nested_value() { co_return 42; }
+
+Task<> nested_parent(std::vector<int>& out) {
+  out.push_back(1);
+  co_await nested_child(out);
+  const int v = co_await nested_value();
+  out.push_back(v);
+}
+
+TEST(Scheduler, NestedTaskAwaitPropagatesValues) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.spawn(nested_parent(out));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2, 42}));
+}
+
+Task<> thrower() {
+  co_await std::suspend_never{};
+  throw std::runtime_error("boom");
+}
+
+TEST(Scheduler, FiberExceptionPropagatesFromRun) {
+  Scheduler sched;
+  sched.spawn(thrower());
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+Task<> catching_parent(std::vector<int>& out) {
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    out.push_back(7);
+  }
+}
+
+TEST(Scheduler, ChildExceptionCatchableInParent) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.spawn(catching_parent(out));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({7}));
+}
+
+struct DtorFlag {
+  bool* flag;
+  explicit DtorFlag(bool* f) : flag(f) {}
+  ~DtorFlag() { *flag = true; }
+};
+
+Task<> sleeps_forever(Scheduler& sched, bool* destroyed) {
+  DtorFlag guard(destroyed);
+  co_await sched.sleep_for(seconds(3600));
+}
+
+TEST(Scheduler, KillRunsDestructorsOfSuspendedFrame) {
+  Scheduler sched;
+  bool destroyed = false;
+  FiberId id = sched.spawn(sleeps_forever(sched, &destroyed));
+  sched.run_until(msec(1));  // let it reach the sleep
+  EXPECT_FALSE(destroyed);
+  EXPECT_TRUE(sched.fiber_alive(id));
+  sched.kill(id);
+  EXPECT_TRUE(destroyed) << "kill must unwind the coroutine chain";
+  EXPECT_FALSE(sched.fiber_alive(id));
+  sched.run();  // the cancelled sleep timer must not fire into freed memory
+}
+
+Task<> block_on(Semaphore& sem, bool* destroyed) {
+  DtorFlag guard(destroyed);
+  co_await sem.acquire();
+}
+
+TEST(Scheduler, KillUnlinksFromSemaphoreWaitQueue) {
+  Scheduler sched;
+  Semaphore sem(sched, 0);
+  bool destroyed = false;
+  FiberId id = sched.spawn(block_on(sem, &destroyed));
+  sched.run();
+  EXPECT_TRUE(sem.has_waiters());
+  sched.kill(id);
+  EXPECT_TRUE(destroyed);
+  EXPECT_FALSE(sem.has_waiters()) << "killed waiter must unlink from the queue";
+  sem.release();  // must not resume a destroyed coroutine
+  sched.run();
+}
+
+TEST(Scheduler, KillUnknownFiberIsNoOp) {
+  Scheduler sched;
+  sched.kill(FiberId{9999});
+}
+
+Task<> record_domain(Scheduler& sched, std::vector<DomainId>& out) {
+  out.push_back(sched.current_domain());
+  co_return;
+}
+
+TEST(Scheduler, KillDomainKillsOnlyThatDomain) {
+  Scheduler sched;
+  Semaphore sem(sched, 0);
+  bool destroyed_a = false;
+  bool destroyed_b = false;
+  sched.spawn(block_on(sem, &destroyed_a), DomainId{1});
+  sched.spawn(block_on(sem, &destroyed_b), DomainId{2});
+  int timer_fired = 0;
+  sched.schedule_after(msec(5), [&] { ++timer_fired; }, DomainId{1});
+  sched.schedule_after(msec(5), [&] { ++timer_fired; }, DomainId{2});
+  sched.run_until(msec(1));
+  sched.kill_domain(DomainId{1});
+  EXPECT_TRUE(destroyed_a);
+  EXPECT_FALSE(destroyed_b);
+  sched.run_until(msec(10));
+  EXPECT_EQ(timer_fired, 1) << "domain 1's timer must be cancelled with the domain";
+}
+
+TEST(Scheduler, CurrentDomainVisibleInsideFiber) {
+  Scheduler sched;
+  std::vector<DomainId> seen;
+  sched.spawn(record_domain(sched, seen), DomainId{42});
+  sched.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], DomainId{42});
+}
+
+Task<> spawn_from_inside(Scheduler& sched, std::vector<int>& out) {
+  out.push_back(1);
+  sched.spawn(append_value(out, 2));
+  co_return;
+}
+
+TEST(Scheduler, SpawnFromInsideFiber) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.spawn(spawn_from_inside(sched, out));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2}));
+}
+
+Task<> yielder(Scheduler& sched, std::vector<int>& out, int tag, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    out.push_back(tag);
+    co_await sched.yield();
+  }
+}
+
+TEST(Scheduler, YieldInterleavesFibersRoundRobin) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.spawn(yielder(sched, out, 1, 3));
+  sched.spawn(yielder(sched, out, 2, 3));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Scheduler, LiveFiberCountTracksCompletion) {
+  Scheduler sched;
+  std::vector<int> out;
+  sched.spawn(append_value(out, 1));
+  EXPECT_EQ(sched.live_fiber_count(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.live_fiber_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ugrpc::sim

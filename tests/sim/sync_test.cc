@@ -1,0 +1,136 @@
+// Unit tests for Semaphore and Mutex under cooperative scheduling.
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace ugrpc::sim {
+namespace {
+
+Task<> acquire_then_record(Semaphore& sem, std::vector<int>& out, int tag) {
+  co_await sem.acquire();
+  out.push_back(tag);
+}
+
+TEST(Semaphore, AcquireSucceedsImmediatelyWhenPositive) {
+  Scheduler sched;
+  Semaphore sem(sched, 2);
+  std::vector<int> out;
+  sched.spawn(acquire_then_record(sem, out, 1));
+  sched.spawn(acquire_then_record(sem, out, 2));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2}));
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST(Semaphore, AcquireBlocksWhenZeroAndReleaseWakesFifo) {
+  Scheduler sched;
+  Semaphore sem(sched, 0);
+  std::vector<int> out;
+  sched.spawn(acquire_then_record(sem, out, 1));
+  sched.spawn(acquire_then_record(sem, out, 2));
+  sched.run();
+  EXPECT_TRUE(out.empty());
+  sem.release();
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1}));
+  sem.release();
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2}));
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrementsCount) {
+  Scheduler sched;
+  Semaphore sem(sched, 0);
+  sem.release();
+  sem.release();
+  EXPECT_EQ(sem.count(), 2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+}
+
+Task<> producer(Scheduler& sched, Semaphore& items, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sched.sleep_for(msec(1));
+    items.release();
+  }
+}
+
+Task<> consumer(Semaphore& items, int n, int& consumed) {
+  for (int i = 0; i < n; ++i) {
+    co_await items.acquire();
+    ++consumed;
+  }
+}
+
+TEST(Semaphore, ProducerConsumerCompletes) {
+  Scheduler sched;
+  Semaphore items(sched, 0);
+  int consumed = 0;
+  sched.spawn(consumer(items, 10, consumed));
+  sched.spawn(producer(sched, items, 10));
+  sched.run();
+  EXPECT_EQ(consumed, 10);
+  EXPECT_EQ(sched.now(), msec(10));
+}
+
+Task<> critical_section(Scheduler& sched, Mutex& mu, std::vector<int>& out, int tag) {
+  auto guard = co_await mu.lock();
+  out.push_back(tag);
+  co_await sched.sleep_for(msec(1));  // hold across a suspension point
+  out.push_back(tag);
+}
+
+TEST(Mutex, CriticalSectionsDoNotInterleave) {
+  Scheduler sched;
+  Mutex mu(sched);
+  std::vector<int> out;
+  sched.spawn(critical_section(sched, mu, out, 1));
+  sched.spawn(critical_section(sched, mu, out, 2));
+  sched.spawn(critical_section(sched, mu, out, 3));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 1, 2, 2, 3, 3}));
+}
+
+Task<> guard_early_reset(Mutex& mu, bool& entered) {
+  auto guard = co_await mu.lock();
+  guard.reset();  // explicit early unlock
+  entered = true;
+  co_return;
+}
+
+TEST(Mutex, GuardResetUnlocksEarly) {
+  Scheduler sched;
+  Mutex mu(sched);
+  bool entered = false;
+  std::vector<int> out;
+  sched.spawn(guard_early_reset(mu, entered));
+  sched.run();
+  EXPECT_TRUE(entered);
+  // The mutex must be free again.
+  sched.spawn(critical_section(sched, mu, out, 9));
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({9, 9}));
+}
+
+Task<> abandoned_waiter(Semaphore& sem) { co_await sem.acquire(); }
+
+TEST(Semaphore, KilledWaiterDoesNotReceiveToken) {
+  Scheduler sched;
+  Semaphore sem(sched, 0);
+  FiberId victim = sched.spawn(abandoned_waiter(sem));
+  std::vector<int> out;
+  sched.spawn(acquire_then_record(sem, out, 2));
+  sched.run();
+  sched.kill(victim);
+  sem.release();
+  sched.run();
+  EXPECT_EQ(out, std::vector<int>({2})) << "token must go to the surviving waiter";
+}
+
+}  // namespace
+}  // namespace ugrpc::sim

@@ -1,0 +1,156 @@
+// Unit tests for Task<T> value/exception propagation and move semantics.
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+
+namespace ugrpc::sim {
+namespace {
+
+Task<int> make_int() { co_return 41; }
+
+Task<std::string> make_string() { co_return "value"; }
+
+Task<std::unique_ptr<int>> make_move_only() { co_return std::make_unique<int>(9); }
+
+Task<> consume(std::vector<std::string>& out) {
+  const int i = co_await make_int();
+  const std::string s = co_await make_string();
+  std::unique_ptr<int> p = co_await make_move_only();
+  out.push_back(std::to_string(i) + s + std::to_string(*p));
+}
+
+TEST(Task, ValueTypesPropagate) {
+  Scheduler sched;
+  std::vector<std::string> out;
+  sched.spawn(consume(out));
+  sched.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "41value9");
+}
+
+Task<int> throwing_int() {
+  co_await std::suspend_never{};
+  throw std::runtime_error("nope");
+}
+
+Task<> catch_from_value_task(bool& caught) {
+  try {
+    (void)co_await throwing_int();
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionFromValueTaskPropagates) {
+  Scheduler sched;
+  bool caught = false;
+  sched.spawn(catch_from_value_task(caught));
+  sched.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Task<int> a = make_int();
+  EXPECT_TRUE(a.valid());
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move) - asserting moved-from state
+  EXPECT_TRUE(b.valid());
+  Task<int> c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  // c's destructor destroys the never-started frame without leaking.
+}
+
+Task<> never_started(int& touched) {
+  ++touched;
+  co_return;
+}
+
+TEST(Task, DestroyingUnstartedTaskIsSafe) {
+  int touched = 0;
+  {
+    Task<> t = never_started(touched);
+    EXPECT_TRUE(t.valid());
+  }  // destroyed without ever resuming: lazy start means the body never ran
+  EXPECT_EQ(touched, 0);
+}
+
+Task<int> deep(int n) {
+  if (n == 0) co_return 0;
+  co_return 1 + co_await deep(n - 1);
+}
+
+Task<> run_deep(int& result) { result = co_await deep(200); }
+
+TEST(Task, DeepAwaitChains) {
+  Scheduler sched;
+  int result = 0;
+  sched.spawn(run_deep(result));
+  sched.run();
+  EXPECT_EQ(result, 200);
+}
+
+Task<> waits_then_returns(Scheduler& sched, int& order, int tag) {
+  co_await sched.sleep_for(msec(tag));
+  order = order * 10 + tag;
+}
+
+Task<> sequential_awaits(Scheduler& sched, int& order) {
+  co_await waits_then_returns(sched, order, 1);
+  co_await waits_then_returns(sched, order, 2);
+  co_await waits_then_returns(sched, order, 3);
+}
+
+TEST(Task, SequentialAwaitsRunInOrderAcrossSuspensions) {
+  Scheduler sched;
+  int order = 0;
+  sched.spawn(sequential_awaits(sched, order));
+  sched.run();
+  EXPECT_EQ(order, 123);
+  EXPECT_EQ(sched.now(), msec(6));
+}
+
+// Killing a fiber blocked deep in a nested await chain must unwind every
+// frame (each with RAII locals) without touching freed queues.
+struct UnwindCounter {
+  int* count;
+  explicit UnwindCounter(int* c) : count(c) {}
+  ~UnwindCounter() { ++*count; }
+};
+
+Task<> leaf(Semaphore& sem, int* unwound) {
+  UnwindCounter guard(unwound);
+  co_await sem.acquire();
+}
+
+Task<> mid(Semaphore& sem, int* unwound) {
+  UnwindCounter guard(unwound);
+  co_await leaf(sem, unwound);
+}
+
+Task<> root(Semaphore& sem, int* unwound) {
+  UnwindCounter guard(unwound);
+  co_await mid(sem, unwound);
+}
+
+TEST(Task, KillUnwindsNestedFrames) {
+  Scheduler sched;
+  Semaphore sem(sched, 0);
+  int unwound = 0;
+  FiberId id = sched.spawn(root(sem, &unwound));
+  sched.run();
+  EXPECT_EQ(unwound, 0);
+  sched.kill(id);
+  EXPECT_EQ(unwound, 3) << "all three frames' locals must be destroyed";
+  sem.release();
+  sched.run();  // must not resume destroyed frames
+}
+
+}  // namespace
+}  // namespace ugrpc::sim

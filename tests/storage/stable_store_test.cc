@@ -1,0 +1,107 @@
+// Unit tests for the simulated stable storage.
+#include "storage/stable_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ugrpc::storage {
+namespace {
+
+Buffer make_buf(std::uint32_t v) {
+  Buffer b;
+  Writer(b).u32(v);
+  return b;
+}
+
+TEST(StableStore, PutGetRoundTrip) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  store.put("k", make_buf(7));
+  auto v = store.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, make_buf(7));
+  EXPECT_TRUE(store.contains("k"));
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+TEST(StableStore, GetMissingReturnsNullopt) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  EXPECT_FALSE(store.get("missing").has_value());
+}
+
+TEST(StableStore, EraseRemovesKey) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  store.put("k", make_buf(1));
+  store.erase("k");
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(StableStore, OverwriteReplacesValue) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  store.put("k", make_buf(1));
+  store.put("k", make_buf(2));
+  EXPECT_EQ(*store.get("k"), make_buf(2));
+}
+
+TEST(StableStore, CheckpointStoreAndLoad) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  StableAddress a1 = store.store_checkpoint(make_buf(10));
+  StableAddress a2 = store.store_checkpoint(make_buf(20));
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(*store.load_checkpoint(a1), make_buf(10));
+  EXPECT_EQ(*store.load_checkpoint(a2), make_buf(20));
+  EXPECT_EQ(store.checkpoint_count(), 2u);
+}
+
+TEST(StableStore, ReleaseCheckpointFrees) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  StableAddress a = store.store_checkpoint(make_buf(10));
+  store.release_checkpoint(a);
+  EXPECT_FALSE(store.load_checkpoint(a).has_value());
+  EXPECT_EQ(store.checkpoint_count(), 0u);
+}
+
+TEST(StableStore, StableVariables) {
+  sim::Scheduler sched;
+  StableStore store(sched);
+  EXPECT_FALSE(store.var("x").has_value());
+  store.set_var("x", 42);
+  EXPECT_EQ(*store.var("x"), 42u);
+  store.clear_var("x");
+  EXPECT_FALSE(store.var("x").has_value());
+}
+
+sim::Task<> do_async_put(StableStore& store) {
+  co_await store.put_async("k", Buffer{});
+}
+
+TEST(StableStore, AsyncPutChargesWriteLatency) {
+  sim::Scheduler sched;
+  StableStore store(sched, sim::msec(3));
+  sched.spawn(do_async_put(store));
+  sched.run();
+  EXPECT_EQ(sched.now(), sim::msec(3));
+  EXPECT_TRUE(store.contains("k"));
+}
+
+sim::Task<> do_async_checkpoint(StableStore& store, std::optional<StableAddress>& out) {
+  out = co_await store.store_checkpoint_async(Buffer{});
+}
+
+TEST(StableStore, AsyncCheckpointChargesWriteLatency) {
+  sim::Scheduler sched;
+  StableStore store(sched, sim::msec(5));
+  std::optional<StableAddress> addr;
+  sched.spawn(do_async_checkpoint(store, addr));
+  sched.run();
+  EXPECT_EQ(sched.now(), sim::msec(5));
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_TRUE(store.load_checkpoint(*addr).has_value());
+}
+
+}  // namespace
+}  // namespace ugrpc::storage

@@ -1,0 +1,82 @@
+// Unit tests for the typed serialization layer.
+#include "stub/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace ugrpc::stub {
+namespace {
+
+template <typename T>
+void expect_round_trip(const T& value) {
+  EXPECT_EQ(unmarshal<T>(marshal<T>(value)), value);
+}
+
+TEST(Codec, IntegralRoundTrips) {
+  expect_round_trip<std::uint8_t>(255);
+  expect_round_trip<std::uint16_t>(65535);
+  expect_round_trip<std::uint32_t>(4000000000u);
+  expect_round_trip<std::uint64_t>(~0ULL);
+  expect_round_trip<std::int32_t>(-2000000000);
+  expect_round_trip<std::int64_t>(std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Codec, BoolDoubleString) {
+  expect_round_trip(true);
+  expect_round_trip(false);
+  expect_round_trip(3.14159);
+  expect_round_trip(std::string("hello world"));
+  expect_round_trip(std::string());
+}
+
+TEST(Codec, VectorRoundTrips) {
+  expect_round_trip(std::vector<std::uint32_t>{1, 2, 3});
+  expect_round_trip(std::vector<std::string>{"a", "", "ccc"});
+  expect_round_trip(std::vector<std::uint32_t>{});
+  expect_round_trip(std::vector<std::vector<std::uint32_t>>{{1}, {}, {2, 3}});
+}
+
+TEST(Codec, PairOptionalMap) {
+  expect_round_trip(std::pair<std::string, std::uint64_t>{"key", 42});
+  expect_round_trip(std::optional<std::string>{"present"});
+  expect_round_trip(std::optional<std::string>{});
+  expect_round_trip(std::map<std::string, std::uint64_t>{{"a", 1}, {"b", 2}});
+}
+
+TEST(Codec, UnmarshalOfGarbageThrows) {
+  Buffer junk;
+  Writer(junk).u8(1);
+  EXPECT_THROW((void)unmarshal<std::string>(junk), CodecError);
+}
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+}  // namespace
+
+// User-defined type support via specialization.
+template <>
+struct Codec<Point> {
+  static void encode(Writer& w, const Point& p) {
+    w.i64(p.x);
+    w.i64(p.y);
+  }
+  static Point decode(Reader& r) {
+    Point p;
+    p.x = r.i64();
+    p.y = r.i64();
+    return p;
+  }
+};
+
+namespace {
+
+TEST(Codec, UserDefinedTypeRoundTrips) {
+  expect_round_trip(Point{-5, 77});
+  expect_round_trip(std::vector<Point>{{1, 2}, {3, 4}});
+}
+
+}  // namespace
+}  // namespace ugrpc::stub
