@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collation.dir/collation.cc.o"
+  "CMakeFiles/collation.dir/collation.cc.o.d"
+  "collation"
+  "collation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_failure_semantics.dir/fig1_failure_semantics.cc.o"
+  "CMakeFiles/fig1_failure_semantics.dir/fig1_failure_semantics.cc.o.d"
+  "fig1_failure_semantics"
+  "fig1_failure_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_failure_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_property_graph.dir/fig2_property_graph.cc.o"
+  "CMakeFiles/fig2_property_graph.dir/fig2_property_graph.cc.o.d"
+  "fig2_property_graph"
+  "fig2_property_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_property_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_composite_introspection.dir/fig3_composite_introspection.cc.o"
+  "CMakeFiles/fig3_composite_introspection.dir/fig3_composite_introspection.cc.o.d"
+  "fig3_composite_introspection"
+  "fig3_composite_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_composite_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

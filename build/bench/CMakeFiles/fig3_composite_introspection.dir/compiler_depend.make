@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_composite_introspection.
+# This may be replaced when dependencies are built.

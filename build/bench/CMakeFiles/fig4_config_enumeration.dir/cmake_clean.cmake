@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_config_enumeration.dir/fig4_config_enumeration.cc.o"
+  "CMakeFiles/fig4_config_enumeration.dir/fig4_config_enumeration.cc.o.d"
+  "fig4_config_enumeration"
+  "fig4_config_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_config_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

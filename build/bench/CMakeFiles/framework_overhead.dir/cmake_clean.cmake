@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_overhead.dir/framework_overhead.cc.o"
+  "CMakeFiles/framework_overhead.dir/framework_overhead.cc.o.d"
+  "framework_overhead"
+  "framework_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

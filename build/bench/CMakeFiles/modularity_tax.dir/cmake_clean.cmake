@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modularity_tax.dir/modularity_tax.cc.o"
+  "CMakeFiles/modularity_tax.dir/modularity_tax.cc.o.d"
+  "modularity_tax"
+  "modularity_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modularity_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_acceptance.dir/ordering_acceptance.cc.o"
+  "CMakeFiles/ordering_acceptance.dir/ordering_acceptance.cc.o.d"
+  "ordering_acceptance"
+  "ordering_acceptance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ordering_acceptance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_loss.dir/reliability_loss.cc.o"
+  "CMakeFiles/reliability_loss.dir/reliability_loss.cc.o.d"
+  "reliability_loss"
+  "reliability_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

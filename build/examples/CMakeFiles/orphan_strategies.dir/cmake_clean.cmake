@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orphan_strategies.dir/orphan_strategies.cpp.o"
+  "CMakeFiles/orphan_strategies.dir/orphan_strategies.cpp.o.d"
+  "orphan_strategies"
+  "orphan_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orphan_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

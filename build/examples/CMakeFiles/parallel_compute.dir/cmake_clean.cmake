@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_compute.dir/parallel_compute.cpp.o"
+  "CMakeFiles/parallel_compute.dir/parallel_compute.cpp.o.d"
+  "parallel_compute"
+  "parallel_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

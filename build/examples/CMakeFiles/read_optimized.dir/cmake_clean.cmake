@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_optimized.dir/read_optimized.cpp.o"
+  "CMakeFiles/read_optimized.dir/read_optimized.cpp.o.d"
+  "read_optimized"
+  "read_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example.quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example.quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.read_optimized]=] "/root/repo/build/examples/read_optimized")
+set_tests_properties([=[example.read_optimized]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.replicated_kv]=] "/root/repo/build/examples/replicated_kv")
+set_tests_properties([=[example.replicated_kv]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.parallel_compute]=] "/root/repo/build/examples/parallel_compute")
+set_tests_properties([=[example.parallel_compute]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.orphan_strategies]=] "/root/repo/build/examples/orphan_strategies")
+set_tests_properties([=[example.orphan_strategies]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.config_explorer]=] "/root/repo/build/examples/config_explorer" "check" "--ordering=total" "--reliable" "--unique")
+set_tests_properties([=[example.config_explorer]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugrpc_common.dir/buffer.cc.o"
+  "CMakeFiles/ugrpc_common.dir/buffer.cc.o.d"
+  "CMakeFiles/ugrpc_common.dir/log.cc.o"
+  "CMakeFiles/ugrpc_common.dir/log.cc.o.d"
+  "libugrpc_common.a"
+  "libugrpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugrpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

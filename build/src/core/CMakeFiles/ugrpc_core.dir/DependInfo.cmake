@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composite.cc" "src/core/CMakeFiles/ugrpc_core.dir/composite.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/composite.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/ugrpc_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/config.cc.o.d"
+  "/root/repo/src/core/events.cc" "src/core/CMakeFiles/ugrpc_core.dir/events.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/events.cc.o.d"
+  "/root/repo/src/core/micro/acceptance.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/acceptance.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/acceptance.cc.o.d"
+  "/root/repo/src/core/micro/atomic_execution.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/atomic_execution.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/atomic_execution.cc.o.d"
+  "/root/repo/src/core/micro/bounded_termination.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/bounded_termination.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/bounded_termination.cc.o.d"
+  "/root/repo/src/core/micro/call_semantics.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/call_semantics.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/call_semantics.cc.o.d"
+  "/root/repo/src/core/micro/collation.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/collation.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/collation.cc.o.d"
+  "/root/repo/src/core/micro/fifo_order.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/fifo_order.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/fifo_order.cc.o.d"
+  "/root/repo/src/core/micro/interference_avoidance.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/interference_avoidance.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/interference_avoidance.cc.o.d"
+  "/root/repo/src/core/micro/reliable_communication.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/reliable_communication.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/reliable_communication.cc.o.d"
+  "/root/repo/src/core/micro/rpc_main.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/rpc_main.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/rpc_main.cc.o.d"
+  "/root/repo/src/core/micro/serial_execution.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/serial_execution.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/serial_execution.cc.o.d"
+  "/root/repo/src/core/micro/terminate_orphan.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/terminate_orphan.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/terminate_orphan.cc.o.d"
+  "/root/repo/src/core/micro/total_order.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/total_order.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/total_order.cc.o.d"
+  "/root/repo/src/core/micro/unique_execution.cc" "src/core/CMakeFiles/ugrpc_core.dir/micro/unique_execution.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/micro/unique_execution.cc.o.d"
+  "/root/repo/src/core/p2p_rpc.cc" "src/core/CMakeFiles/ugrpc_core.dir/p2p_rpc.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/p2p_rpc.cc.o.d"
+  "/root/repo/src/core/properties.cc" "src/core/CMakeFiles/ugrpc_core.dir/properties.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/properties.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/ugrpc_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/site.cc" "src/core/CMakeFiles/ugrpc_core.dir/site.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/site.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/ugrpc_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/ugrpc_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ugrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ugrpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ugrpc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/ugrpc_membership.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/membership.cc" "src/membership/CMakeFiles/ugrpc_membership.dir/membership.cc.o" "gcc" "src/membership/CMakeFiles/ugrpc_membership.dir/membership.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ugrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ugrpc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

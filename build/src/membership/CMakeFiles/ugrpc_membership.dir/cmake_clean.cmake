@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugrpc_membership.dir/membership.cc.o"
+  "CMakeFiles/ugrpc_membership.dir/membership.cc.o.d"
+  "libugrpc_membership.a"
+  "libugrpc_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugrpc_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

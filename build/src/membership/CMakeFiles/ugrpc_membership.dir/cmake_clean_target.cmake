@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libugrpc_membership.a"
+)

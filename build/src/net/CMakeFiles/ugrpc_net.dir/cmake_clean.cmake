@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugrpc_net.dir/network.cc.o"
+  "CMakeFiles/ugrpc_net.dir/network.cc.o.d"
+  "libugrpc_net.a"
+  "libugrpc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugrpc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugrpc_runtime.dir/framework.cc.o"
+  "CMakeFiles/ugrpc_runtime.dir/framework.cc.o.d"
+  "libugrpc_runtime.a"
+  "libugrpc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugrpc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugrpc_sim.dir/scheduler.cc.o"
+  "CMakeFiles/ugrpc_sim.dir/scheduler.cc.o.d"
+  "libugrpc_sim.a"
+  "libugrpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugrpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_edge_test.dir/core/async_edge_test.cc.o"
+  "CMakeFiles/async_edge_test.dir/core/async_edge_test.cc.o.d"
+  "async_edge_test"
+  "async_edge_test.pdb"
+  "async_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

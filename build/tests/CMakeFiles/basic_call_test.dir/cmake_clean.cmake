@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_call_test.dir/core/basic_call_test.cc.o"
+  "CMakeFiles/basic_call_test.dir/core/basic_call_test.cc.o.d"
+  "basic_call_test"
+  "basic_call_test.pdb"
+  "basic_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_robustness_test.dir/net/decode_robustness_test.cc.o"
+  "CMakeFiles/decode_robustness_test.dir/net/decode_robustness_test.cc.o.d"
+  "decode_robustness_test"
+  "decode_robustness_test.pdb"
+  "decode_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

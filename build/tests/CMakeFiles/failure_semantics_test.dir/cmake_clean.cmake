@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_semantics_test.dir/core/failure_semantics_test.cc.o"
+  "CMakeFiles/failure_semantics_test.dir/core/failure_semantics_test.cc.o.d"
+  "failure_semantics_test"
+  "failure_semantics_test.pdb"
+  "failure_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

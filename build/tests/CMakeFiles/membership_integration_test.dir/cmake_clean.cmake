@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_integration_test.dir/core/membership_integration_test.cc.o"
+  "CMakeFiles/membership_integration_test.dir/core/membership_integration_test.cc.o.d"
+  "membership_integration_test"
+  "membership_integration_test.pdb"
+  "membership_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observability_test.dir/core/observability_test.cc.o"
+  "CMakeFiles/observability_test.dir/core/observability_test.cc.o.d"
+  "observability_test"
+  "observability_test.pdb"
+  "observability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

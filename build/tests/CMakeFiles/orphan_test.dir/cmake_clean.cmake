@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orphan_test.dir/core/orphan_test.cc.o"
+  "CMakeFiles/orphan_test.dir/core/orphan_test.cc.o.d"
+  "orphan_test"
+  "orphan_test.pdb"
+  "orphan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orphan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_rpc_test.dir/core/p2p_rpc_test.cc.o"
+  "CMakeFiles/p2p_rpc_test.dir/core/p2p_rpc_test.cc.o.d"
+  "p2p_rpc_test"
+  "p2p_rpc_test.pdb"
+  "p2p_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/rng_test.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/rng_test.dir/sim/rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ugrpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ugrpc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/ugrpc_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ugrpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ugrpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

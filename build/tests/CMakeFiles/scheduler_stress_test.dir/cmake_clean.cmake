@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_stress_test.dir/sim/scheduler_stress_test.cc.o"
+  "CMakeFiles/scheduler_stress_test.dir/sim/scheduler_stress_test.cc.o.d"
+  "scheduler_stress_test"
+  "scheduler_stress_test.pdb"
+  "scheduler_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

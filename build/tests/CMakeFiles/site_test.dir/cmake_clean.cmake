@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_test.dir/core/site_test.cc.o"
+  "CMakeFiles/site_test.dir/core/site_test.cc.o.d"
+  "site_test"
+  "site_test.pdb"
+  "site_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

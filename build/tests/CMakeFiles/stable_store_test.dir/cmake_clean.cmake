@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_store_test.dir/storage/stable_store_test.cc.o"
+  "CMakeFiles/stable_store_test.dir/storage/stable_store_test.cc.o.d"
+  "stable_store_test"
+  "stable_store_test.pdb"
+  "stable_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stub_test.dir/stub/stub_test.cc.o"
+  "CMakeFiles/stub_test.dir/stub/stub_test.cc.o.d"
+  "stub_test"
+  "stub_test.pdb"
+  "stub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

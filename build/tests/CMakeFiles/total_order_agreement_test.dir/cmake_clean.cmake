@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/total_order_agreement_test.dir/core/total_order_agreement_test.cc.o"
+  "CMakeFiles/total_order_agreement_test.dir/core/total_order_agreement_test.cc.o.d"
+  "total_order_agreement_test"
+  "total_order_agreement_test.pdb"
+  "total_order_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/total_order_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_protocol_test.dir/core/user_protocol_test.cc.o"
+  "CMakeFiles/user_protocol_test.dir/core/user_protocol_test.cc.o.d"
+  "user_protocol_test"
+  "user_protocol_test.pdb"
+  "user_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

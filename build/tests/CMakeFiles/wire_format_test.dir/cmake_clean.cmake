@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_format_test.dir/net/wire_format_test.cc.o"
+  "CMakeFiles/wire_format_test.dir/net/wire_format_test.cc.o.d"
+  "wire_format_test"
+  "wire_format_test.pdb"
+  "wire_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
