@@ -44,7 +44,7 @@ std::size_t fifo_executions(bool reliable, std::size_t calls) {
   Scenario s(std::move(p));
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     for (std::size_t i = 0; i < calls; ++i) {
-      (void)co_await c.begin(s.group(), OpId{1}, Buffer{});
+      (void)co_await c.call_async(s.group(), OpId{1}, Buffer{});
       // Paced so the first call arrives first: this isolates the loss
       // effect from FIFO's first-seen stream initialization under bursts.
       co_await s.scheduler().sleep_for(sim::msec(2));

@@ -41,8 +41,8 @@ bool smoke_run(Config config) {
     }, sim::seconds(30));
   } else {
     s.run_client(0, [&](Client& c) -> sim::Task<> {
-      const CallId id = co_await c.begin(s.group(), OpId{1}, Buffer{});
-      result = co_await c.result(s.group(), id);
+      CallHandle h = co_await c.call_async(s.group(), OpId{1}, Buffer{});
+      result = co_await h.get();
     }, sim::seconds(30));
   }
   return result.status == Status::kOk;

@@ -51,40 +51,42 @@ void print_graph() {
 }
 
 int check(int argc, char** argv) {
-  Config config;
-  config.acceptance_limit = 1;
+  ConfigBuilder builder;
+  builder.acceptance_limit(1);
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--async") {
-      config.call = CallSemantics::kAsynchronous;
+      builder.asynchronous();
     } else if (arg == "--orphan=avoid") {
-      config.orphan = OrphanHandling::kInterferenceAvoidance;
+      builder.orphan_handling(OrphanHandling::kInterferenceAvoidance);
     } else if (arg == "--orphan=terminate") {
-      config.orphan = OrphanHandling::kTerminateOrphans;
+      builder.orphan_handling(OrphanHandling::kTerminateOrphans);
     } else if (arg == "--exec=serial") {
-      config.execution = ExecutionMode::kSerial;
+      builder.execution(ExecutionMode::kSerial);
     } else if (arg == "--exec=atomic") {
-      config.execution = ExecutionMode::kSerialAtomic;
+      builder.execution(ExecutionMode::kSerialAtomic);
     } else if (arg == "--unique") {
-      config.unique_execution = true;
+      builder.unique_execution();
     } else if (arg == "--reliable") {
-      config.reliable_communication = true;
+      builder.reliable_communication();
     } else if (arg == "--bounded") {
-      config.termination_bound = sim::seconds(1);
+      builder.termination_bound(sim::seconds(1));
     } else if (arg == "--ordering=fifo") {
-      config.ordering = Ordering::kFifo;
+      builder.fifo_order();
     } else if (arg == "--ordering=total") {
-      config.ordering = Ordering::kTotal;
+      builder.total_order();
     } else {
       std::printf("unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
-  std::printf("configuration: %s\n", config.describe().c_str());
-  const auto errors = validate(config);
-  if (!errors.empty()) {
+  std::printf("configuration: %s\n", builder.build_unchecked().describe().c_str());
+  Config config;
+  try {
+    config = builder.build();
+  } catch (const ConfigError& err) {
     std::printf("INVALID -- violated dependencies (paper Figure 4):\n");
-    for (const ValidationError& e : errors) {
+    for (const ValidationError& e : err.errors()) {
       std::printf("  %-42s %s\n", e.rule.c_str(), e.message.c_str());
     }
     return 1;
@@ -116,8 +118,8 @@ int check(int argc, char** argv) {
     }, sim::seconds(30));
   } else {
     s.run_client(0, [&](Client& c) -> sim::Task<> {
-      const CallId id = co_await c.begin(s.group(), OpId{1}, Buffer{});
-      result = co_await c.result(s.group(), id);
+      CallHandle handle = co_await c.call_async(s.group(), OpId{1}, Buffer{});
+      result = co_await handle.get();
     }, sim::seconds(30));
   }
   std::printf("\nsmoke call: %s\n", std::string(to_string(result.status)).c_str());

@@ -40,12 +40,12 @@ void run_policy(OrphanHandling policy, const char* label) {
   Trace trace;
   ScenarioParams p;
   p.num_servers = 1;
-  p.config.acceptance_limit = 1;
-  p.config.reliable_communication = true;
-  p.config.unique_execution = true;
-  p.config.retrans_timeout = sim::msec(40);
-  p.config.orphan = policy;
-  p.config.execution = ExecutionMode::kSerial;
+  p.config = ConfigBuilder::exactly_once()
+                 .reliable_communication(sim::msec(40))
+                 .acceptance_limit(1)
+                 .orphan_handling(policy)
+                 .execution(ExecutionMode::kSerial)
+                 .build();
   p.server_app = [&trace](UserProtocol& user, Site& site) {
     user.set_procedure([&trace, &site](OpId, Buffer& args) -> sim::Task<> {
       const std::uint64_t job = Reader(args).u64();

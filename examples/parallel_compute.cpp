@@ -45,14 +45,14 @@ constexpr stub::Operation<IntegrateJob, double> kIntegrate{OpId{1}, "integrate"}
 constexpr int kWorkers = 5;
 
 int main() {
-  core::Config config;
-  config.acceptance_limit = core::kAll;  // need every partial result
-  config.reliable_communication = true;
-  // Sum the partial integrals as they arrive.
+  // Sum the partial integrals as they arrive; acceptance=ALL waits for
+  // every worker's slice.
   auto [fold, init] = stub::typed_collation<double>(
       [](double acc, double part) { return acc + part; }, 0.0);
-  config.collation = std::move(fold);
-  config.collation_init = std::move(init);
+  const core::Config config = core::ConfigBuilder::at_least_once()
+                                  .acceptance_limit(core::kAll)
+                                  .collation(std::move(fold), std::move(init))
+                                  .build();
 
   core::ScenarioParams params;
   params.num_servers = kWorkers;

@@ -19,12 +19,9 @@ constexpr stub::Operation<std::string, std::string> kGreet{OpId{1}, "greet"};
 
 int main() {
   // 1. Choose the semantic properties of the service (paper section 5).
-  core::Config config;
-  config.call = core::CallSemantics::kSynchronous;
-  config.acceptance_limit = 1;  // quick response: first reply wins
-  config.reliable_communication = true;
-  config.retrans_timeout = sim::msec(25);
-  config.termination_bound = sim::seconds(1);
+  //    read_optimized = synchronous, first reply wins, 25ms retransmission,
+  //    1s termination bound.
+  const core::Config config = core::ConfigBuilder::read_optimized().build();
 
   // 2. Describe the deployment: 3 servers, 1 client, 5% message loss.
   core::ScenarioParams params;

@@ -24,12 +24,13 @@ constexpr stub::Operation<std::string, std::string> kLookup{OpId{1}, "lookup"};
 namespace {
 
 core::ScenarioParams make_params(int acceptance_limit) {
-  core::Config config;
-  config.call = core::CallSemantics::kSynchronous;
-  config.acceptance_limit = acceptance_limit;
-  config.reliable_communication = true;
-  config.retrans_timeout = sim::msec(50);
-  config.termination_bound = sim::seconds(2);
+  // Start from the read-optimized preset and relax the timing for the
+  // deliberately slow replicas in this example.
+  const core::Config config = core::ConfigBuilder::read_optimized()
+                                  .acceptance_limit(acceptance_limit)
+                                  .reliable_communication(sim::msec(50))
+                                  .termination_bound(sim::seconds(2))
+                                  .build();
 
   core::ScenarioParams params;
   params.num_servers = 4;

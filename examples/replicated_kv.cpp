@@ -57,14 +57,14 @@ void kv_app(core::UserProtocol& user, core::Site& site) {
 }  // namespace
 
 int main() {
-  core::Config config;
-  config.acceptance_limit = core::kAll;
-  config.reliable_communication = true;
-  config.unique_execution = true;
-  config.retrans_timeout = sim::msec(40);
-  config.ordering = core::Ordering::kTotal;
-  config.use_membership = true;
-  config.membership_params = {sim::msec(15), sim::msec(120)};
+  // Total order builds on exactly-once delivery (Figure 4: Total -> Unique
+  // -> Reliable); membership drives leader failover after the crash below.
+  const core::Config config = core::ConfigBuilder::exactly_once()
+                                  .reliable_communication(sim::msec(40))
+                                  .acceptance_limit(core::kAll)
+                                  .total_order()
+                                  .membership({sim::msec(15), sim::msec(120)})
+                                  .build();
 
   core::ScenarioParams params;
   params.num_servers = 3;

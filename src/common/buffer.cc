@@ -1,15 +1,20 @@
 #include "common/buffer.h"
 
+#include <array>
 #include <bit>
 #include <cstring>
 
 namespace ugrpc {
 
 void Writer::uint_le(std::uint64_t v, int width) {
+  // One staged append instead of `width` push_backs: a single detach check
+  // and a single grow for the whole field.
+  std::array<std::byte, 8> staged;
   for (int i = 0; i < width; ++i) {
-    out_.push_back(static_cast<std::byte>(v & 0xffu));
+    staged[static_cast<std::size_t>(i)] = static_cast<std::byte>(v & 0xffu);
     v >>= 8;
   }
+  out_.append(std::span<const std::byte>(staged.data(), static_cast<std::size_t>(width)));
 }
 
 void Writer::f64(double v) {
@@ -23,7 +28,7 @@ void Writer::str(std::string_view s) {
 }
 
 void Writer::append_bytes(std::string_view s) {
-  for (char c : s) out_.push_back(static_cast<std::byte>(c));
+  out_.append(std::as_bytes(std::span<const char>(s.data(), s.size())));
 }
 
 void Writer::raw(std::span<const std::byte> data) {

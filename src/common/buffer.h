@@ -2,6 +2,12 @@
 //
 // The gRPC layer of the paper treats call arguments as "one continuous
 // untyped field that is copied to and from messages"; Buffer is that field.
+// Copying a Buffer is O(1): the byte storage is shared and copied-on-write,
+// so fanning one payload out to n group members (multicast, retransmission,
+// stored duplicate answers) costs n refcount bumps instead of n deep
+// copies.  Mutation through any handle detaches it first, so value
+// semantics are preserved -- two handles never observe each other's writes.
+//
 // Writer/Reader implement the wire codec used both for marshalling call
 // arguments (src/stub) and for serializing protocol messages (src/net).
 // Integers are encoded little-endian at fixed width; strings and nested
@@ -9,8 +15,10 @@
 // rather than reading out of bounds.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -26,24 +34,58 @@ class CodecError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// An owned, growable sequence of bytes.
+/// A growable sequence of bytes with value semantics and O(1) copies
+/// (shared storage, copy-on-write).
 class Buffer {
  public:
   Buffer() = default;
-  explicit Buffer(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+  explicit Buffer(std::vector<std::byte> bytes)
+      : data_(std::make_shared<std::vector<std::byte>>(std::move(bytes))) {}
 
-  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
-  [[nodiscard]] bool empty() const { return bytes_.empty(); }
-  [[nodiscard]] std::span<const std::byte> bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return data_ ? std::span<const std::byte>(*data_) : std::span<const std::byte>{};
+  }
 
-  void append(std::span<const std::byte> data) { bytes_.insert(bytes_.end(), data.begin(), data.end()); }
-  void push_back(std::byte b) { bytes_.push_back(b); }
-  void clear() { bytes_.clear(); }
+  void append(std::span<const std::byte> data) {
+    auto& bytes = mut();
+    bytes.insert(bytes.end(), data.begin(), data.end());
+  }
+  void push_back(std::byte b) { mut().push_back(b); }
+  void reserve(std::size_t n) { mut().reserve(n); }
+  void clear() {
+    // Shared storage is simply released (other handles keep their bytes);
+    // exclusive storage is reused to keep its capacity.
+    if (data_ != nullptr && data_.use_count() == 1) {
+      data_->clear();
+    } else {
+      data_.reset();
+    }
+  }
 
-  friend bool operator==(const Buffer&, const Buffer&) = default;
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    const auto sa = a.bytes();
+    const auto sb = b.bytes();
+    return std::equal(sa.begin(), sa.end(), sb.begin(), sb.end());
+  }
+
+  /// True when this handle shares its storage with another (test/bench
+  /// observability for the copy-on-write behaviour).
+  [[nodiscard]] bool shares_storage() const { return data_ != nullptr && data_.use_count() > 1; }
 
  private:
-  std::vector<std::byte> bytes_;
+  /// Mutable access: allocates on first write, detaches shared storage.
+  std::vector<std::byte>& mut() {
+    if (data_ == nullptr) {
+      data_ = std::make_shared<std::vector<std::byte>>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<std::vector<std::byte>>(*data_);
+    }
+    return *data_;
+  }
+
+  std::shared_ptr<std::vector<std::byte>> data_;
 };
 
 /// Appends encoded values to a Buffer.

@@ -57,46 +57,60 @@ std::string Config::describe() const {
   return s;
 }
 
+std::string_view to_string(Rule r) {
+  switch (r) {
+    case Rule::kUniqueRequiresReliable: return "UniqueExecution->ReliableCommunication";
+    case Rule::kFifoRequiresReliable: return "FifoOrder->ReliableCommunication";
+    case Rule::kTotalRequiresReliable: return "TotalOrder->ReliableCommunication";
+    case Rule::kTotalRequiresUnique: return "TotalOrder->UniqueExecution";
+    case Rule::kTotalExcludesBounded: return "TotalOrder-x-BoundedTermination";
+    case Rule::kAcceptanceLimitPositive: return "Acceptance.limit";
+    case Rule::kRetransTimeoutPositive: return "ReliableCommunication.timeout";
+    case Rule::kTerminationBoundPositive: return "BoundedTermination.bound";
+  }
+  return "<invalid>";
+}
+
 std::vector<ValidationError> validate(const Config& config) {
   std::vector<ValidationError> errors;
-  const auto fail = [&errors](std::string rule, std::string message) {
-    errors.push_back(ValidationError{std::move(rule), std::move(message)});
+  const auto fail = [&errors](Rule code, std::string message) {
+    errors.push_back(ValidationError{code, std::string(to_string(code)), std::move(message)});
   };
 
   // Edges of paper Figure 4 (see DESIGN.md for the derivation of the set).
   if (config.unique_execution && !config.reliable_communication) {
-    fail("UniqueExecution->ReliableCommunication",
+    fail(Rule::kUniqueRequiresReliable,
          "unique execution's acknowledge/retransmit bookkeeping presumes reliable "
          "communication at the RPC layer");
   }
   if (config.ordering == Ordering::kFifo && !config.reliable_communication) {
-    fail("FifoOrder->ReliableCommunication",
+    fail(Rule::kFifoRequiresReliable,
          "FIFO ordering requires every server to receive the client's messages");
   }
   if (config.ordering == Ordering::kTotal) {
     if (!config.reliable_communication) {
-      fail("TotalOrder->ReliableCommunication",
+      fail(Rule::kTotalRequiresReliable,
            "total ordering requires every server to receive the same message set");
     }
     if (!config.unique_execution) {
-      fail("TotalOrder->UniqueExecution",
+      fail(Rule::kTotalRequiresUnique,
            "the total order implementation assumes any request is received at the "
            "server only once (paper section 5)");
     }
     if (config.termination_bound.has_value()) {
-      fail("TotalOrder-x-BoundedTermination",
+      fail(Rule::kTotalExcludesBounded,
            "total order assumes bounded termination is not present (paper section "
            "4.4.6): a timed-out call would leave a hole in the execution order");
     }
   }
   if (config.acceptance_limit < 1) {
-    fail("Acceptance.limit", "the acceptance limit must be at least 1");
+    fail(Rule::kAcceptanceLimitPositive, "the acceptance limit must be at least 1");
   }
   if (config.retrans_timeout <= 0 && config.reliable_communication) {
-    fail("ReliableCommunication.timeout", "the retransmission timeout must be positive");
+    fail(Rule::kRetransTimeoutPositive, "the retransmission timeout must be positive");
   }
   if (config.termination_bound.has_value() && *config.termination_bound <= 0) {
-    fail("BoundedTermination.bound", "the termination bound must be positive");
+    fail(Rule::kTerminationBoundPositive, "the termination bound must be positive");
   }
   return errors;
 }

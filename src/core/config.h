@@ -74,9 +74,28 @@ struct Config {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Stable machine-readable identifiers for the dependency rules of paper
+/// Figure 4 (plus parameter sanity checks).  Values are part of the public
+/// API: programs switch on them, so existing enumerators never change
+/// meaning; new rules are appended.
+enum class Rule : unsigned char {
+  kUniqueRequiresReliable,   ///< UniqueExecution -> ReliableCommunication
+  kFifoRequiresReliable,     ///< FifoOrder -> ReliableCommunication
+  kTotalRequiresReliable,    ///< TotalOrder -> ReliableCommunication
+  kTotalRequiresUnique,      ///< TotalOrder -> UniqueExecution
+  kTotalExcludesBounded,     ///< TotalOrder -x- BoundedTermination
+  kAcceptanceLimitPositive,  ///< acceptance_limit >= 1
+  kRetransTimeoutPositive,   ///< retrans_timeout > 0 when reliable
+  kTerminationBoundPositive, ///< termination_bound > 0 when set
+};
+
+/// Canonical edge notation, e.g. "TotalOrder->UniqueExecution".
+[[nodiscard]] std::string_view to_string(Rule r);
+
 /// One violated dependency edge of paper Figure 4.
 struct ValidationError {
-  std::string rule;     ///< e.g. "TotalOrder->UniqueExecution"
+  Rule code;            ///< stable machine-readable rule identifier
+  std::string rule;     ///< canonical edge notation, to_string(code)
   std::string message;  ///< human-readable explanation
 };
 

@@ -1,0 +1,44 @@
+#include "core/config_builder.h"
+
+namespace ugrpc::core {
+
+std::string ConfigError::format_what(const std::vector<ValidationError>& errors) {
+  std::string what = "invalid configuration:";
+  for (const ValidationError& e : errors) {
+    what += "\n  [";
+    what += e.rule;
+    what += "] ";
+    what += e.message;
+  }
+  return what;
+}
+
+ConfigBuilder ConfigBuilder::at_least_once() {
+  return ConfigBuilder().reliable_communication();
+}
+
+ConfigBuilder ConfigBuilder::exactly_once() {
+  return at_least_once().unique_execution();
+}
+
+ConfigBuilder ConfigBuilder::at_most_once() {
+  // Uniqueness alone does not survive a crash: Atomic Execution checkpoints
+  // the duplicate tables (and implies Serial Execution; see Figure 4).
+  return exactly_once().execution(ExecutionMode::kSerialAtomic);
+}
+
+ConfigBuilder ConfigBuilder::read_optimized() {
+  return ConfigBuilder()
+      .synchronous()
+      .acceptance_limit(1)
+      .reliable_communication(sim::msec(25))
+      .termination_bound(sim::seconds(1));
+}
+
+Config ConfigBuilder::build() const {
+  std::vector<ValidationError> errors = validate(config_);
+  if (!errors.empty()) throw ConfigError(std::move(errors));
+  return config_;
+}
+
+}  // namespace ugrpc::core

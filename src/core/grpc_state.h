@@ -183,6 +183,25 @@ struct GrpcState {
   /// The user protocol above gRPC (server procedure entry point).
   UserProtocol* user = nullptr;
 
+  /// Reply acknowledgements queued per destination instead of sent
+  /// immediately: Unique Execution's coalesced flush timer drains each
+  /// destination's queue into one batched kAck message, and Reliable
+  /// Communication piggybacks queued ids onto retransmitted Calls (the
+  /// kCall's ackid field is otherwise unused).  Acks are garbage-collection
+  /// signals only, so deferring them never affects call semantics.
+  std::map<ProcessId, std::vector<std::uint64_t>> pending_acks;
+
+  /// Removes and returns one queued ack for `dest` to piggyback onto an
+  /// outgoing Call; 0 when none is pending (call ids are never 0).
+  [[nodiscard]] std::uint64_t take_piggyback_ack(ProcessId dest) {
+    auto it = pending_acks.find(dest);
+    if (it == pending_acks.end() || it->second.empty()) return 0;
+    const std::uint64_t id = it->second.back();
+    it->second.pop_back();
+    if (it->second.empty()) pending_acks.erase(it);
+    return id;
+  }
+
   // ---- helpers ----
 
   [[nodiscard]] std::shared_ptr<ClientRecord> find_client(CallId id) const {

@@ -5,26 +5,43 @@
 namespace ugrpc::core {
 
 void BoundedTermination::start(runtime::Framework& fw) {
+  fw_ = &fw;
   fw.register_handler(kNewRpcCall, "BoundedTerm.handle_new_call", kPrioNewBounded,
-                      [this, &fw](runtime::EventContext& ctx) -> sim::Task<> {
-                        // One one-shot deadline per call.  The paper keeps a
-                        // FIFO queue drained by a single handler; arming a
-                        // timer that captures the id is equivalent (timeouts
-                        // fire in registration order for equal deadlines).
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
                         const CallId id = ctx.arg_as<CallEvent>().id;
-                        fw.register_timeout("BoundedTerm.handle_timeout", timebound_,
-                                            [this, id]() { return handle_timeout(id); });
+                        deadlines_.emplace_back(state_.sched.now() + timebound_, id);
+                        arm_timer();
                         co_return;
                       });
 }
 
-sim::Task<> BoundedTermination::handle_timeout(CallId id) {
+void BoundedTermination::arm_timer() {
+  // One timer for the whole queue, armed for the front deadline.  New calls
+  // always append strictly-later deadlines, so the armed timer never needs
+  // to be shortened.
+  if (armed_ || deadlines_.empty()) return;
+  armed_ = true;
+  const sim::Duration delay = deadlines_.front().first - state_.sched.now();
+  fw_->register_timeout("BoundedTerm.handle_timeout", delay > 0 ? delay : 0,
+                        [this]() -> sim::Task<> {
+                          armed_ = false;
+                          co_await drain_expired();
+                          arm_timer();
+                        });
+}
+
+sim::Task<> BoundedTermination::drain_expired() {
   auto guard = co_await state_.pRPC_mutex.lock();
-  auto rec = state_.find_client(id);
-  if (rec != nullptr && rec->status == Status::kWaiting) {
-    rec->status = Status::kTimeout;
-    ++timeouts_fired_;
-    rec->sem.release();
+  const sim::Time now = state_.sched.now();
+  while (!deadlines_.empty() && deadlines_.front().first <= now) {
+    const CallId id = deadlines_.front().second;
+    deadlines_.pop_front();
+    auto rec = state_.find_client(id);
+    if (rec != nullptr && rec->status == Status::kWaiting) {
+      rec->status = Status::kTimeout;
+      ++timeouts_fired_;
+      rec->sem.release();
+    }
   }
 }
 

@@ -6,7 +6,15 @@
 // paper's pseudocode, which V's unconditionally: we only time out calls
 // still WAITING, so a call that completed but whose thread has not yet run
 // does not get a spurious second V.)
+//
+// Timer coalescing: the paper's pseudocode effectively keeps one timer per
+// outstanding call.  Because the bound is uniform, deadlines expire in call
+// order, so a FIFO queue of (deadline, id) drained by a single armed timer is
+// equivalent and keeps the timer population O(1) instead of O(calls).
 #pragma once
+
+#include <deque>
+#include <utility>
 
 #include "core/events.h"
 #include "core/grpc_state.h"
@@ -25,10 +33,15 @@ class BoundedTermination : public runtime::MicroProtocol {
   [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_fired_; }
 
  private:
-  [[nodiscard]] sim::Task<> handle_timeout(CallId id);
+  [[nodiscard]] sim::Task<> drain_expired();
+  void arm_timer();
 
   GrpcState& state_;
+  runtime::Framework* fw_ = nullptr;
   sim::Duration timebound_;
+  /// FIFO of (deadline, call) pairs; front expires first (uniform bound).
+  std::deque<std::pair<sim::Time, CallId>> deadlines_;
+  bool armed_ = false;
   std::uint64_t timeouts_fired_ = 0;
 };
 

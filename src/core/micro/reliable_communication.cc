@@ -28,6 +28,14 @@ void ReliableCommunication::start(runtime::Framework& fw) {
                             auto it = rec->pending.find(msg.sender);
                             if (it != rec->pending.end()) it->second.acked = true;
                           }
+                          // A batched ACK may acknowledge receipt of several
+                          // calls at once (see net/message.h).
+                          for (std::uint64_t extra : net::decode_ack_batch(msg.args)) {
+                            if (auto rec = state_.find_client(CallId{extra})) {
+                              auto it = rec->pending.find(msg.sender);
+                              if (it != rec->pending.end()) it->second.acked = true;
+                            }
+                          }
                         }
                         co_return;
                       });
@@ -49,26 +57,40 @@ void ReliableCommunication::arm_timer(runtime::Framework& fw) {
 }
 
 sim::Task<> ReliableCommunication::handle_timeout() {
-  // Snapshot the record set: retransmission sends may interleave with table
-  // mutations from other fibers.
-  std::vector<std::shared_ptr<ClientRecord>> records;
-  records.reserve(state_.pRPC.size());
-  for (const auto& [id, rec] : state_.pRPC) records.push_back(rec);
-  for (const auto& rec : records) {
+  // Snapshot the record set into reused scratch storage: retransmission
+  // sends may interleave with table mutations from other fibers, but the
+  // snapshot itself costs no allocation in steady state.
+  scratch_.clear();
+  scratch_.reserve(state_.pRPC.size());
+  for (const auto& [id, rec] : state_.pRPC) {
+    for (const auto& [p, ps] : rec->pending) {
+      if (!ps.acked) {
+        scratch_.push_back(rec);
+        break;
+      }
+    }
+  }
+  for (const auto& rec : scratch_) {
+    net::NetMessage msg;
+    msg.type = net::MsgType::kCall;
+    msg.id = rec->id;
+    msg.op = rec->op;
+    msg.args = rec->request_args;  // shared, not deep-copied (COW Buffer)
+    msg.server = rec->server;
+    msg.sender = state_.my_id;
+    msg.inc = state_.inc_number;
     for (auto& [p, ps] : rec->pending) {
       if (ps.acked) continue;
-      net::NetMessage msg;
-      msg.type = net::MsgType::kCall;
-      msg.id = rec->id;
-      msg.op = rec->op;
-      msg.args = rec->request_args;
-      msg.server = rec->server;
-      msg.sender = state_.my_id;
-      msg.inc = state_.inc_number;
+      // Piggyback one queued reply acknowledgement on the retransmission
+      // (the kCall ackid field is otherwise unused) so the server can free
+      // a stored result without waiting for the explicit batched ACK.
+      msg.ackid = state_.take_piggyback_ack(p);
+      if (msg.ackid != 0) ++piggybacked_acks_;
       state_.net_push(p, msg);
       ++retransmissions_;
     }
   }
+  scratch_.clear();
   co_return;
 }
 

@@ -3,10 +3,17 @@
 // Implements the standard retransmit-until-acknowledged scheme on the client
 // side: every `retrans_timeout` the call is retransmitted to each group
 // member that has neither replied nor acknowledged it.  A Reply counts as an
-// acknowledgement; explicit ACK messages (sent by Unique Execution on the
-// peer) also count.  Combined with RPC Main this gives unbounded
+// acknowledgement; explicit ACK messages (possibly batched, see
+// net/message.h) also count.  Combined with RPC Main this gives unbounded
 // termination: "the client side keeps on trying until it gets a response".
+//
+// Timer coalescing: one periodic timer covers every in-flight call (armed
+// only while calls are pending, so an idle client quiesces).  Each
+// retransmitted Call additionally piggybacks one queued reply
+// acknowledgement in its unused ackid field, saving explicit ACK messages.
 #pragma once
+
+#include <vector>
 
 #include "core/events.h"
 #include "core/grpc_state.h"
@@ -25,6 +32,8 @@ class ReliableCommunication : public runtime::MicroProtocol {
 
   /// Total retransmissions performed (observability for tests/benches).
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Acks piggybacked onto retransmitted Calls (observability).
+  [[nodiscard]] std::uint64_t piggybacked_acks() const { return piggybacked_acks_; }
 
  private:
   [[nodiscard]] sim::Task<> handle_timeout();
@@ -35,6 +44,9 @@ class ReliableCommunication : public runtime::MicroProtocol {
   sim::Duration retrans_timeout_;
   bool armed_ = false;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t piggybacked_acks_ = 0;
+  /// Reused snapshot storage for handle_timeout (no per-tick allocation).
+  std::vector<std::shared_ptr<ClientRecord>> scratch_;
 };
 
 }  // namespace ugrpc::core

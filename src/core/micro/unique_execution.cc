@@ -5,6 +5,7 @@
 namespace ugrpc::core {
 
 void UniqueExecution::start(runtime::Framework& fw) {
+  fw_ = &fw;
   state_.checkpoint_participants.push_back(this);
   fw.register_handler(kMsgFromNetwork, "UniqueExec.msg_from_net", kPrioNetUnique,
                       [this](runtime::EventContext& ctx) { return msg_from_net(ctx); });
@@ -18,10 +19,49 @@ void UniqueExecution::start(runtime::Framework& fw) {
                       });
 }
 
+void UniqueExecution::queue_ack(ProcessId dest, std::uint64_t id) {
+  state_.pending_acks[dest].push_back(id);
+  ++acks_queued_;
+  if (flush_armed_) return;
+  flush_armed_ = true;
+  // One coalesced timer for every destination: all acknowledgements that
+  // accumulate within the window leave in one message per server.  The
+  // default window of 0 still batches -- timers fire only after the ready
+  // fibers of the current instant have drained, so a burst of same-time
+  // Replies is acknowledged as one batch.
+  fw_->register_timeout("UniqueExec.flush_acks", ack_delay_, [this]() -> sim::Task<> {
+    flush_armed_ = false;
+    flush_acks();
+    co_return;
+  });
+}
+
+void UniqueExecution::flush_acks() {
+  // Take the queue wholesale: retransmission piggybacking may have already
+  // consumed some ids (take_piggyback_ack), which is why the queue lives in
+  // the shared state rather than here.
+  auto pending = std::move(state_.pending_acks);
+  state_.pending_acks.clear();
+  for (auto& [dest, ids] : pending) {
+    if (ids.empty()) continue;
+    net::NetMessage ack;
+    ack.type = net::MsgType::kAck;
+    ack.sender = state_.my_id;
+    ack.inc = state_.inc_number;
+    ack.ackid = ids.front();
+    ack.args = net::encode_ack_batch(std::span(ids).subspan(1));
+    state_.net_push(dest, ack);
+    ++ack_messages_sent_;
+  }
+}
+
 sim::Task<> UniqueExecution::msg_from_net(runtime::EventContext& ctx) {
   const auto& msg = ctx.arg_as<net::NetMessage>();
   switch (msg.type) {
     case net::MsgType::kCall: {
+      // A retransmitted Call may piggyback one acknowledgement in its
+      // otherwise-unused ackid field (see Reliable Communication).
+      if (msg.ackid != 0) old_results_.erase(CallId{msg.ackid});
       if (auto it = old_results_.find(msg.id); it != old_results_.end()) {
         // Completed before: answer from the stored result, do not re-execute.
         ++duplicates_suppressed_;
@@ -45,18 +85,16 @@ sim::Task<> UniqueExecution::msg_from_net(runtime::EventContext& ctx) {
       break;
     }
     case net::MsgType::kReply: {
-      // Client side: acknowledge so the server can free the stored result.
-      net::NetMessage ack;
-      ack.type = net::MsgType::kAck;
-      ack.server = msg.server;
-      ack.sender = state_.my_id;
-      ack.inc = state_.inc_number;
-      ack.ackid = msg.id.value();
-      state_.net_push(msg.sender, ack);
+      // Client side: queue the acknowledgement so the server can free the
+      // stored result; the coalesced flush timer batches per destination.
+      queue_ack(msg.sender, msg.id.value());
       break;
     }
     case net::MsgType::kAck:
       old_results_.erase(CallId{msg.ackid});
+      for (std::uint64_t id : net::decode_ack_batch(msg.args)) {
+        old_results_.erase(CallId{id});
+      }
       break;
     case net::MsgType::kOrder:
     case net::MsgType::kOrderQuery:

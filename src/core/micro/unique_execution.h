@@ -4,8 +4,14 @@
 // server remembers which calls it has seen (OldCalls) and keeps each call's
 // result (OldResults) until the client acknowledges the Reply.  A duplicate
 // of a completed call is answered from OldResults; a duplicate of an
-// in-progress call is discarded.  On the client side, every received Reply
-// is acknowledged with an ACK message so the server can garbage-collect.
+// in-progress call is discarded.  On the client side, received Replies are
+// acknowledged so the server can garbage-collect -- but not one message per
+// Reply: acknowledgements are queued per destination and flushed by a single
+// coalesced timer as one batched ACK (extra ids ride in the args field; see
+// net/message.h), or piggybacked onto retransmitted Calls by Reliable
+// Communication.  The Reply itself already serves as the receipt
+// acknowledgement for Reliable Communication, so deferring the explicit ACK
+// only delays server-side GC, never retransmission suppression.
 //
 // Combined with RPC Main + Reliable Communication this upgrades
 // "at least once" to "exactly once" (paper Figure 1).  The duplicate tables
@@ -25,8 +31,8 @@ namespace ugrpc::core {
 
 class UniqueExecution : public runtime::MicroProtocol, public CheckpointParticipant {
  public:
-  explicit UniqueExecution(GrpcState& state)
-      : MicroProtocol("Unique Execution"), state_(state) {}
+  explicit UniqueExecution(GrpcState& state, sim::Duration ack_delay = {})
+      : MicroProtocol("Unique Execution"), state_(state), ack_delay_(ack_delay) {}
 
   void start(runtime::Framework& fw) override;
 
@@ -38,14 +44,25 @@ class UniqueExecution : public runtime::MicroProtocol, public CheckpointParticip
   [[nodiscard]] std::size_t old_calls() const { return old_calls_.size(); }
   [[nodiscard]] std::size_t stored_results() const { return old_results_.size(); }
   [[nodiscard]] std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  /// ACK messages actually sent vs. acknowledgements delivered: the gap is
+  /// what batching and piggybacking saved (observability for tests/benches).
+  [[nodiscard]] std::uint64_t ack_messages_sent() const { return ack_messages_sent_; }
+  [[nodiscard]] std::uint64_t acks_queued() const { return acks_queued_; }
 
  private:
   [[nodiscard]] sim::Task<> msg_from_net(runtime::EventContext& ctx);
+  void queue_ack(ProcessId dest, std::uint64_t id);
+  void flush_acks();
 
   GrpcState& state_;
+  runtime::Framework* fw_ = nullptr;
+  sim::Duration ack_delay_;
+  bool flush_armed_ = false;
   std::set<CallId> old_calls_;
   std::map<CallId, Buffer> old_results_;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t ack_messages_sent_ = 0;
+  std::uint64_t acks_queued_ = 0;
 };
 
 }  // namespace ugrpc::core

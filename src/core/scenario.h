@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/config_builder.h"
 #include "core/service.h"
 #include "core/site.h"
 #include "net/network.h"
@@ -22,7 +23,8 @@ namespace ugrpc::core {
 struct ScenarioParams {
   int num_servers = 3;
   int num_clients = 1;
-  Config config;
+  /// Defaults to the builder's (validated) base configuration.
+  Config config = ConfigBuilder().build();
   net::FaultSpec faults;  ///< default link faults for every pair
   std::uint64_t seed = 1;
   /// Per-server application setup; default echoes args back unchanged.

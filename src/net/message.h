@@ -13,7 +13,9 @@
 // marshalling.
 #pragma once
 
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/buffer.h"
 #include "common/ids.h"
@@ -74,6 +76,39 @@ inline Buffer NetMessage::encode() const {
   w.u32(inc);
   w.u64(ackid);
   return out;
+}
+
+// ---- batched acknowledgements ----
+//
+// A kAck message acknowledges `ackid`; when the client batches several
+// acknowledgements for one destination into a single message, the ids beyond
+// the first ride in the (otherwise unused) args field as `u32 count` followed
+// by `count` u64 call ids.  The NetMessage wire layout is unchanged -- args
+// was always length-prefixed opaque bytes -- so old-format single acks decode
+// as a batch of one.
+
+[[nodiscard]] inline Buffer encode_ack_batch(std::span<const std::uint64_t> extra_ids) {
+  Buffer out;
+  if (extra_ids.empty()) return out;
+  Writer w(out);
+  w.u32(static_cast<std::uint32_t>(extra_ids.size()));
+  for (std::uint64_t id : extra_ids) w.u64(id);
+  return out;
+}
+
+/// Extra acked ids carried in a kAck's args; tolerant of malformed payloads
+/// (returns the ids decoded before the error -- acks are best-effort GC).
+[[nodiscard]] inline std::vector<std::uint64_t> decode_ack_batch(const Buffer& args) {
+  std::vector<std::uint64_t> ids;
+  if (args.empty()) return ids;
+  try {
+    Reader r(args);
+    const std::uint32_t count = r.u32();
+    ids.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) ids.push_back(r.u64());
+  } catch (const CodecError&) {
+  }
+  return ids;
 }
 
 inline NetMessage NetMessage::decode(const Buffer& buf) {

@@ -1,6 +1,7 @@
 #include "runtime/framework.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/assert.h"
@@ -25,52 +26,60 @@ HandlerId Framework::register_handler(EventId event, std::string handler_name, i
   UGRPC_ASSERT(fn != nullptr);
   UGRPC_ASSERT(priority >= 0 && "priorities are non-negative");
   const HandlerId id{next_handler_++};
-  const auto key = std::tuple{event, priority, next_seq_++};
-  table_.emplace(key, Registration{id, event, std::move(handler_name), priority,
-                                   std::get<2>(key), std::make_shared<Handler>(std::move(fn))});
-  by_id_.emplace(id, key);
+  auto reg = std::make_shared<const Registration>(
+      Registration{id, event, std::move(handler_name), priority, next_seq_++, std::move(fn)});
+  EventTable& table = events_[event];
+  // Insertion keeps (priority, seq) order; seq is monotonic, so among equal
+  // priorities the new entry goes after every existing one.
+  const auto pos = std::upper_bound(
+      table.regs.begin(), table.regs.end(), priority,
+      [](int prio, const RegistrationPtr& r) { return prio < r->priority; });
+  table.regs.insert(pos, std::move(reg));
+  ++table.generation;
+  by_id_.emplace(id, event);
   return id;
 }
 
 void Framework::deregister(HandlerId id) {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return;
-  table_.erase(it->second);
+  EventTable& table = events_[it->second];
+  std::erase_if(table.regs, [id](const RegistrationPtr& r) { return r->id == id; });
+  ++table.generation;
   by_id_.erase(it);
 }
 
 void Framework::deregister(EventId event, const std::string& handler_name) {
-  for (auto it = table_.lower_bound(std::tuple{event, 0, std::uint64_t{0}}); it != table_.end();) {
-    if (std::get<0>(it->first) != event) break;
-    if (it->second.name == handler_name) {
-      by_id_.erase(it->second.id);
-      it = table_.erase(it);
-    } else {
-      ++it;
-    }
+  auto ev = events_.find(event);
+  if (ev == events_.end()) return;
+  EventTable& table = ev->second;
+  const auto removed = std::erase_if(table.regs, [&](const RegistrationPtr& r) {
+    if (r->name != handler_name) return false;
+    by_id_.erase(r->id);
+    return true;
+  });
+  if (removed > 0) ++table.generation;
+}
+
+const std::shared_ptr<const Framework::Chain>& Framework::chain_for(EventId event) {
+  EventTable& table = events_[event];
+  if (table.cache == nullptr || table.cache_generation != table.generation) {
+    table.cache = std::make_shared<const Chain>(table.regs);
+    table.cache_generation = table.generation;
   }
+  return table.cache;
 }
 
 sim::Task<bool> Framework::trigger(EventId event, EventArg arg) {
-  // Snapshot the chain: handlers registered *during* this trigger do not run
-  // in it, and deregistered ones are skipped via the liveness check below.
-  struct ChainEntry {
-    HandlerId id;
-    std::shared_ptr<Handler> fn;
-    const std::string* name;
-  };
-  std::vector<ChainEntry> chain;
-  for (auto it = table_.lower_bound(std::tuple{event, 0, std::uint64_t{0}}); it != table_.end();
-       ++it) {
-    if (std::get<0>(it->first) != event) break;
-    chain.push_back(ChainEntry{it->second.id, it->second.fn, &it->second.name});
-  }
-
+  // Take a reference to the immutable chain snapshot: handlers registered
+  // *during* this trigger do not run in it (they land in a new snapshot),
+  // and deregistered ones are skipped via the liveness check below.
+  std::shared_ptr<const Chain> chain = chain_for(event);
   EventContext ctx(arg);
-  for (auto& entry : chain) {
-    if (!by_id_.contains(entry.id)) continue;  // deregistered mid-event
-    if (trace_) trace_(sched_.now(), event_name(event), *entry.name);
-    co_await (*entry.fn)(ctx);
+  for (const RegistrationPtr& reg : *chain) {
+    if (!by_id_.contains(reg->id)) continue;  // deregistered mid-event
+    if (trace_) trace_(sched_.now(), event_name(event), reg->name);
+    co_await reg->fn(ctx);
     if (ctx.cancelled()) co_return false;
   }
   co_return true;
@@ -103,10 +112,19 @@ void Framework::cancel_timeout(TimerId id) {
 }
 
 std::vector<Framework::RegistrationInfo> Framework::registrations() const {
+  // Grouped by event in event-id order (events_ is unordered).
+  std::map<EventId, const EventTable*> ordered;
+  std::size_t total = 0;
+  for (const auto& [event, table] : events_) {
+    ordered.emplace(event, &table);
+    total += table.regs.size();
+  }
   std::vector<RegistrationInfo> out;
-  out.reserve(table_.size());
-  for (const auto& [key, reg] : table_) {
-    out.push_back(RegistrationInfo{event_name(reg.event), reg.name, reg.priority});
+  out.reserve(total);
+  for (const auto& [event, table] : ordered) {
+    for (const RegistrationPtr& reg : table->regs) {
+      out.push_back(RegistrationInfo{event_name(event), reg->name, reg->priority});
+    }
   }
   return out;
 }
@@ -118,13 +136,13 @@ std::string Framework::event_name(EventId event) const {
 }
 
 std::size_t Framework::handler_count(EventId event) const {
-  std::size_t n = 0;
-  for (auto it = table_.lower_bound(std::tuple{event, 0, std::uint64_t{0}}); it != table_.end();
-       ++it) {
-    if (std::get<0>(it->first) != event) break;
-    ++n;
-  }
-  return n;
+  auto it = events_.find(event);
+  return it != events_.end() ? it->second.regs.size() : 0;
+}
+
+std::uint64_t Framework::generation(EventId event) const {
+  auto it = events_.find(event);
+  return it != events_.end() ? it->second.generation : 0;
 }
 
 }  // namespace ugrpc::runtime

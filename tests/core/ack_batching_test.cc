@@ -1,0 +1,80 @@
+// Acknowledgement batching and piggybacking (message-path optimization):
+// reply acknowledgements are queued per destination and flushed by one
+// coalesced timer as batched kAck messages; semantics (server-side result
+// garbage collection) must be unaffected.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/micro/unique_execution.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+TEST(AckBatching, BatchedAcksStillGarbageCollectStoredResults) {
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config = ConfigBuilder::exactly_once().build();
+  Scenario s(std::move(p));
+  int ok = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    for (int i = 0; i < 5; ++i) {
+      const CallResult r = co_await c.call(s.group(), kOp, num_buf(static_cast<unsigned>(i)));
+      if (r.ok()) ++ok;
+    }
+  });
+  s.run_until_quiescent();
+  EXPECT_EQ(ok, 5);
+  EXPECT_EQ(s.server(0).grpc().unique()->stored_results(), 0u)
+      << "deferred/batched ACKs must still free every stored result";
+  const auto* client_unique = s.client_site(0).grpc().unique();
+  ASSERT_NE(client_unique, nullptr);
+  EXPECT_EQ(client_unique->acks_queued(), 5u);
+  EXPECT_GT(client_unique->ack_messages_sent(), 0u);
+  EXPECT_LE(client_unique->ack_messages_sent(), client_unique->acks_queued());
+}
+
+TEST(AckBatching, SimultaneousRepliesCoalesceIntoFewerAckMessages) {
+  // Fixed link delay makes the replies to a burst of async calls arrive in
+  // the same instant; the single flush timer must acknowledge them with
+  // fewer messages than acknowledgements.
+  ScenarioParams p;
+  p.num_servers = 1;
+  p.config = ConfigBuilder::exactly_once().asynchronous().build();
+  p.faults.min_delay = sim::msec(1);
+  p.faults.max_delay = sim::msec(1);
+  Scenario s(std::move(p));
+  constexpr int kBurst = 4;
+  int ok = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    std::vector<CallHandle> handles;
+    for (int i = 0; i < kBurst; ++i) {
+      handles.push_back(co_await c.call_async(s.group(), kOp, num_buf(static_cast<unsigned>(i))));
+    }
+    for (CallHandle& h : handles) {
+      const CallResult r = co_await h.get();
+      if (r.ok()) ++ok;
+    }
+  });
+  s.run_until_quiescent();
+  EXPECT_EQ(ok, kBurst);
+  const auto* client_unique = s.client_site(0).grpc().unique();
+  ASSERT_NE(client_unique, nullptr);
+  EXPECT_EQ(client_unique->acks_queued(), static_cast<std::uint64_t>(kBurst));
+  EXPECT_LT(client_unique->ack_messages_sent(), client_unique->acks_queued())
+      << "a same-instant burst of replies must be acknowledged in fewer messages";
+  EXPECT_EQ(s.server(0).grpc().unique()->stored_results(), 0u);
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -1,5 +1,9 @@
-// Edge cases of the asynchronous call semantics and the client facade.
+// Edge cases of the asynchronous call semantics and the CallHandle facade.
+// (The deprecated begin()/result() shims are pinned separately in
+// deprecated_api_test.cc.)
 #include <gtest/gtest.h>
+
+#include <utility>
 
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
@@ -17,32 +21,20 @@ Buffer num_buf(std::uint64_t v) {
 
 ScenarioParams async_params() {
   ScenarioParams p;
-  p.config.call = CallSemantics::kAsynchronous;
-  p.config.acceptance_limit = kAll;
+  p.config = ConfigBuilder().asynchronous().acceptance_limit(kAll).build();
   return p;
 }
 
-TEST(AsyncEdge, ResultForUnknownIdReturnsImmediatelyWaiting) {
-  Scenario s(async_params());
-  CallResult r;
-  s.run_client(0, [&](Client& c) -> sim::Task<> {
-    // Never issued: the pRPC table has no such record, so the request falls
-    // through without blocking and the status stays WAITING.
-    r = co_await c.result(s.group(), CallId{987654321});
-  });
-  EXPECT_EQ(r.status, Status::kWaiting);
-}
-
-TEST(AsyncEdge, SecondResultForSameIdReturnsWaiting) {
+TEST(AsyncEdge, SecondGetOnSameHandleReturnsWaiting) {
   Scenario s(async_params());
   CallResult first;
   CallResult second;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    const CallId id = co_await c.begin(s.group(), kOp, num_buf(1));
-    first = co_await c.result(s.group(), id);
-    // The record was consumed by the first request (paper: the record is
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(1));
+    first = co_await h.get();
+    // The record was consumed by the first get (paper: the record is
     // removed when the result is retrieved).
-    second = co_await c.result(s.group(), id);
+    second = co_await h.get();
   });
   EXPECT_EQ(first.status, Status::kOk);
   EXPECT_EQ(second.status, Status::kWaiting);
@@ -55,11 +47,11 @@ TEST(AsyncEdge, BoundedTerminationAppliesToAsyncCalls) {
   Scenario s(std::move(p));
   CallResult r;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    const CallId id = co_await c.begin(s.group(), kOp, num_buf(1));
-    r = co_await c.result(s.group(), id);
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(1));
+    r = co_await h.get();
   });
   EXPECT_EQ(r.status, Status::kTimeout)
-      << "the deadline must release a Request blocked on a dead call";
+      << "the deadline must release a get() blocked on a dead call";
 }
 
 TEST(AsyncEdge, ResultsAreRetrievableInAnyOrder) {
@@ -67,10 +59,10 @@ TEST(AsyncEdge, ResultsAreRetrievableInAnyOrder) {
   CallResult r_last;
   CallResult r_first;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    const CallId a = co_await c.begin(s.group(), kOp, num_buf(10));
-    const CallId b = co_await c.begin(s.group(), kOp, num_buf(20));
-    r_last = co_await c.result(s.group(), b);   // newest first
-    r_first = co_await c.result(s.group(), a);
+    CallHandle a = co_await c.call_async(s.group(), kOp, num_buf(10));
+    CallHandle b = co_await c.call_async(s.group(), kOp, num_buf(20));
+    r_last = co_await b.get();   // newest first
+    r_first = co_await a.get();
   });
   EXPECT_EQ(r_last.status, Status::kOk);
   EXPECT_EQ(Reader(r_last.result).u64(), 20u);
@@ -78,19 +70,42 @@ TEST(AsyncEdge, ResultsAreRetrievableInAnyOrder) {
   EXPECT_EQ(Reader(r_first.result).u64(), 10u);
 }
 
-TEST(AsyncEdge, SyncConfigIgnoresRequestMessages) {
-  ScenarioParams p;  // synchronous configuration
-  p.config.acceptance_limit = kAll;
-  Scenario s(std::move(p));
-  CallResult r;
+TEST(AsyncEdge, DroppedHandleNeverBlocksAndLeavesPeersIntact) {
+  Scenario s(async_params());
+  CallResult kept;
+  CallId dropped_id;
+  bool dropped_pending = false;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    const CallResult call = co_await c.call(s.group(), kOp, num_buf(1));
-    EXPECT_EQ(call.status, Status::kOk);
-    // No Asynchronous Call micro-protocol: a Request falls through without
-    // any handler touching it.
-    r = co_await c.result(s.group(), call.id);
+    CallHandle keep = co_await c.call_async(s.group(), kOp, num_buf(1));
+    {
+      CallHandle dropped = co_await c.call_async(s.group(), kOp, num_buf(2));
+      dropped_id = dropped.id();
+      dropped_pending = dropped.pending();
+      // `dropped` goes out of scope without get(): must not block or
+      // disturb the sibling call.
+    }
+    kept = co_await keep.get();
   });
-  EXPECT_EQ(r.status, Status::kWaiting);
+  EXPECT_TRUE(dropped_pending);
+  EXPECT_NE(dropped_id.value(), 0u);
+  EXPECT_EQ(kept.status, Status::kOk);
+  EXPECT_EQ(Reader(kept.result).u64(), 1u);
+}
+
+TEST(AsyncEdge, MovedFromHandleReportsWaiting) {
+  Scenario s(async_params());
+  CallResult from_moved;
+  CallResult from_target;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    CallHandle a = co_await c.call_async(s.group(), kOp, num_buf(7));
+    CallHandle b = std::move(a);
+    EXPECT_FALSE(a.pending());  // NOLINT(bugprone-use-after-move): pinned semantics
+    from_moved = co_await a.get();
+    from_target = co_await b.get();
+  });
+  EXPECT_EQ(from_moved.status, Status::kWaiting);
+  EXPECT_EQ(from_target.status, Status::kOk);
+  EXPECT_EQ(Reader(from_target.result).u64(), 7u);
 }
 
 TEST(AsyncEdge, AsyncConfigBlocksNobodyOnIssue) {
@@ -106,7 +121,7 @@ TEST(AsyncEdge, AsyncConfigBlocksNobodyOnIssue) {
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     const sim::Time t0 = s.scheduler().now();
     for (int i = 0; i < 5; ++i) {
-      (void)co_await c.begin(s.group(), kOp, num_buf(static_cast<unsigned>(i)));
+      (void)co_await c.call_async(s.group(), kOp, num_buf(static_cast<unsigned>(i)));
       ++issued;
     }
     EXPECT_EQ(s.scheduler().now(), t0) << "issuing must consume no virtual time";

@@ -168,11 +168,11 @@ TEST(AsyncCall, BeginReturnsImmediatelyResultBlocks) {
   CallResult result;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     const sim::Time before = s.scheduler().now();
-    const CallId id = co_await c.begin(s.group(), kEcho, num_buf(5));
+    CallHandle h = co_await c.call_async(s.group(), kEcho, num_buf(5));
     began_immediately = (s.scheduler().now() == before);
-    result = co_await c.result(s.group(), id);
+    result = co_await h.get();
   });
-  EXPECT_TRUE(began_immediately) << "begin() must not wait for replies";
+  EXPECT_TRUE(began_immediately) << "call_async() must not wait for replies";
   EXPECT_EQ(result.status, Status::kOk);
   EXPECT_EQ(num_of(result.result), 5u);
 }
@@ -184,10 +184,10 @@ TEST(AsyncCall, ResultAfterCompletionReturnsInstantly) {
   Scenario s(std::move(p));
   CallResult result;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    const CallId id = co_await c.begin(s.group(), kEcho, num_buf(5));
+    CallHandle h = co_await c.call_async(s.group(), kEcho, num_buf(5));
     co_await s.scheduler().sleep_for(sim::seconds(1));  // let the call finish
     const sim::Time before = s.scheduler().now();
-    result = co_await c.result(s.group(), id);
+    result = co_await h.get();
     EXPECT_EQ(s.scheduler().now(), before) << "stored result must return without waiting";
   });
   EXPECT_EQ(result.status, Status::kOk);
@@ -200,12 +200,12 @@ TEST(AsyncCall, MultipleOutstandingCalls) {
   Scenario s(std::move(p));
   int ok = 0;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    std::vector<CallId> ids;
+    std::vector<CallHandle> handles;
     for (int i = 0; i < 8; ++i) {
-      ids.push_back(co_await c.begin(s.group(), kEcho, num_buf(static_cast<unsigned>(i))));
+      handles.push_back(co_await c.call_async(s.group(), kEcho, num_buf(static_cast<unsigned>(i))));
     }
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      const CallResult r = co_await c.result(s.group(), ids[i]);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const CallResult r = co_await handles[i].get();
       if (r.ok() && num_of(r.result) == i) ++ok;
     }
   });

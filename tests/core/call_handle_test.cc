@@ -1,0 +1,106 @@
+// CallHandle lifecycle: the future-like façade over the paper's
+// asynchronous Call/Request pair (section 4.4.1).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+ScenarioParams async_params() {
+  ScenarioParams p;
+  p.config = ConfigBuilder().asynchronous().acceptance_limit(kAll).build();
+  return p;
+}
+
+TEST(CallHandle, GetReturnsTheResultOnce) {
+  Scenario s(async_params());
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(42));
+    EXPECT_TRUE(h.pending());
+    r = co_await h.get();
+    EXPECT_FALSE(h.pending());
+  });
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(Reader(r.result).u64(), 42u);
+}
+
+TEST(CallHandle, DoubleGetReturnsWaiting) {
+  Scenario s(async_params());
+  CallResult first;
+  CallResult second;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(1));
+    first = co_await h.get();
+    second = co_await h.get();
+  });
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(second.status, Status::kWaiting) << "the result record is consumed by the first get";
+  EXPECT_EQ(second.id, first.id) << "the handle keeps reporting its call id";
+}
+
+TEST(CallHandle, DropWithoutGetIsSafe) {
+  Scenario s(async_params());
+  int completed = 0;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    {
+      CallHandle dropped = co_await c.call_async(s.group(), kOp, num_buf(1));
+      (void)dropped;  // destroyed without get(): must neither block nor throw
+    }
+    // The site keeps working afterwards.
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(2));
+    const CallResult r = co_await h.get();
+    if (r.ok()) ++completed;
+  });
+  s.run_until_quiescent();
+  EXPECT_EQ(completed, 1);
+}
+
+TEST(CallHandle, TimeoutStatusPropagatesThroughGet) {
+  ScenarioParams p = async_params();
+  p.config.termination_bound = sim::msec(100);
+  p.faults.drop_prob = 1.0;  // nothing ever arrives
+  Scenario s(std::move(p));
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(1));
+    r = co_await h.get();
+  });
+  EXPECT_EQ(r.status, Status::kTimeout);
+}
+
+TEST(CallHandle, ManyHandlesResolveIndependently) {
+  Scenario s(async_params());
+  std::vector<std::optional<CallResult>> results(6);
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    std::vector<CallHandle> handles;
+    for (std::uint64_t i = 0; i < results.size(); ++i) {
+      handles.push_back(co_await c.call_async(s.group(), kOp, num_buf(i)));
+    }
+    // Retrieve evens first, then odds: order must not matter.
+    for (std::size_t i = 0; i < handles.size(); i += 2) results[i] = co_await handles[i].get();
+    for (std::size_t i = 1; i < handles.size(); i += 2) results[i] = co_await handles[i].get();
+  });
+  for (std::uint64_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    EXPECT_EQ(results[i]->status, Status::kOk);
+    EXPECT_EQ(Reader(results[i]->result).u64(), i);
+  }
+}
+
+}  // namespace
+}  // namespace ugrpc::core

@@ -23,6 +23,7 @@ TEST(ConfigValidation, UniqueRequiresReliable) {
   c.unique_execution = true;
   auto errors = validate(c);
   ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, Rule::kUniqueRequiresReliable);
   EXPECT_EQ(errors[0].rule, "UniqueExecution->ReliableCommunication");
   c.reliable_communication = true;
   EXPECT_TRUE(is_valid(c));
@@ -33,6 +34,7 @@ TEST(ConfigValidation, FifoRequiresReliable) {
   c.ordering = Ordering::kFifo;
   auto errors = validate(c);
   ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, Rule::kFifoRequiresReliable);
   EXPECT_EQ(errors[0].rule, "FifoOrder->ReliableCommunication");
   c.reliable_communication = true;
   EXPECT_TRUE(is_valid(c));
@@ -43,11 +45,11 @@ TEST(ConfigValidation, TotalRequiresReliableUniqueAndUnbounded) {
   c.ordering = Ordering::kTotal;
   c.termination_bound = sim::seconds(1);
   auto errors = validate(c);
-  std::set<std::string> rules;
-  for (const auto& e : errors) rules.insert(e.rule);
-  EXPECT_TRUE(rules.contains("TotalOrder->ReliableCommunication"));
-  EXPECT_TRUE(rules.contains("TotalOrder->UniqueExecution"));
-  EXPECT_TRUE(rules.contains("TotalOrder-x-BoundedTermination"));
+  std::set<Rule> rules;
+  for (const auto& e : errors) rules.insert(e.code);
+  EXPECT_TRUE(rules.contains(Rule::kTotalRequiresReliable));
+  EXPECT_TRUE(rules.contains(Rule::kTotalRequiresUnique));
+  EXPECT_TRUE(rules.contains(Rule::kTotalExcludesBounded));
   c.reliable_communication = true;
   c.unique_execution = true;
   c.termination_bound.reset();
@@ -57,17 +59,33 @@ TEST(ConfigValidation, TotalRequiresReliableUniqueAndUnbounded) {
 TEST(ConfigValidation, AcceptanceLimitMustBePositive) {
   Config c = base_valid();
   c.acceptance_limit = 0;
-  EXPECT_FALSE(is_valid(c));
+  auto errors = validate(c);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, Rule::kAcceptanceLimitPositive);
 }
 
 TEST(ConfigValidation, NonPositiveTimeoutsRejected) {
   Config c = base_valid();
   c.reliable_communication = true;
   c.retrans_timeout = 0;
-  EXPECT_FALSE(is_valid(c));
+  auto errors = validate(c);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, Rule::kRetransTimeoutPositive);
   c.retrans_timeout = sim::msec(10);
   c.termination_bound = sim::Duration{0};
-  EXPECT_FALSE(is_valid(c));
+  errors = validate(c);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, Rule::kTerminationBoundPositive);
+}
+
+TEST(ConfigValidation, RuleStringsMatchCodes) {
+  // The string field is derived from the code, so the two can never drift.
+  for (Rule r : {Rule::kUniqueRequiresReliable, Rule::kFifoRequiresReliable,
+                 Rule::kTotalRequiresReliable, Rule::kTotalRequiresUnique,
+                 Rule::kTotalExcludesBounded, Rule::kAcceptanceLimitPositive,
+                 Rule::kRetransTimeoutPositive, Rule::kTerminationBoundPositive}) {
+    EXPECT_NE(to_string(r), "<invalid>");
+  }
 }
 
 TEST(ConfigSpace, PaperReports198Services) {

@@ -1,0 +1,99 @@
+// Compatibility shims: the deprecated begin()/result() pair must keep its
+// exact historical semantics until removal.  This is the ONLY translation
+// unit allowed to exercise the deprecated API; everything else uses
+// call_async()/CallHandle.
+#include <gtest/gtest.h>
+
+#include "core/micro/acceptance.h"
+#include "core/scenario.h"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace ugrpc::core {
+namespace {
+
+constexpr OpId kOp{1};
+
+Buffer num_buf(std::uint64_t v) {
+  Buffer b;
+  Writer(b).u64(v);
+  return b;
+}
+
+ScenarioParams async_params() {
+  ScenarioParams p;
+  p.config = ConfigBuilder().asynchronous().acceptance_limit(kAll).build();
+  return p;
+}
+
+TEST(DeprecatedApi, BeginThenResultRoundTrips) {
+  Scenario s(async_params());
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallId id = co_await c.begin(s.group(), kOp, num_buf(5));
+    r = co_await c.result(s.group(), id);
+  });
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(Reader(r.result).u64(), 5u);
+}
+
+TEST(DeprecatedApi, ResultForUnknownIdReturnsImmediatelyWaiting) {
+  Scenario s(async_params());
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    // Never issued: the pRPC table has no such record, so the request falls
+    // through without blocking and the status stays WAITING.
+    r = co_await c.result(s.group(), CallId{987654321});
+  });
+  EXPECT_EQ(r.status, Status::kWaiting);
+}
+
+TEST(DeprecatedApi, SecondResultForSameIdReturnsWaiting) {
+  Scenario s(async_params());
+  CallResult first;
+  CallResult second;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallId id = co_await c.begin(s.group(), kOp, num_buf(1));
+    first = co_await c.result(s.group(), id);
+    second = co_await c.result(s.group(), id);
+  });
+  EXPECT_EQ(first.status, Status::kOk);
+  EXPECT_EQ(second.status, Status::kWaiting);
+}
+
+TEST(DeprecatedApi, SyncConfigIgnoresRequestMessages) {
+  ScenarioParams p;  // synchronous configuration
+  p.config.acceptance_limit = kAll;
+  Scenario s(std::move(p));
+  CallResult r;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    const CallResult call = co_await c.call(s.group(), kOp, num_buf(1));
+    EXPECT_EQ(call.status, Status::kOk);
+    // No Asynchronous Call micro-protocol: a Request falls through without
+    // any handler touching it.
+    r = co_await c.result(s.group(), call.id);
+  });
+  EXPECT_EQ(r.status, Status::kWaiting);
+}
+
+TEST(DeprecatedApi, ShimAndHandleInteroperate) {
+  // A result() issued for a call begun via call_async() consumes the same
+  // record: both layers drive the identical Request path.
+  Scenario s(async_params());
+  CallResult via_shim;
+  CallResult via_handle;
+  s.run_client(0, [&](Client& c) -> sim::Task<> {
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(3));
+    via_shim = co_await c.result(s.group(), h.id());
+    via_handle = co_await h.get();
+  });
+  EXPECT_EQ(via_shim.status, Status::kOk);
+  EXPECT_EQ(Reader(via_shim.result).u64(), 3u);
+  EXPECT_EQ(via_handle.status, Status::kWaiting) << "the shim consumed the record first";
+}
+
+}  // namespace
+}  // namespace ugrpc::core
+
+#pragma GCC diagnostic pop

@@ -86,7 +86,7 @@ TEST(NoOrder, ScrambledNetworkProducesOutOfOrderExecution) {
   Scenario s(std::move(p));
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     for (std::uint32_t i = 0; i < 40; ++i) {
-      (void)co_await c.begin(s.group(), kTagged, tag_buf({0, i}));
+      (void)co_await c.call_async(s.group(), kTagged, tag_buf({0, i}));
     }
   });
   s.run_for(sim::seconds(2));
@@ -114,7 +114,7 @@ TEST(FifoOrder, PerClientOrderAtEveryServer) {
   Scenario s(std::move(p));
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     for (std::uint32_t i = 0; i < 40; ++i) {
-      (void)co_await c.begin(s.group(), kTagged, tag_buf({0, i}));
+      (void)co_await c.call_async(s.group(), kTagged, tag_buf({0, i}));
     }
   });
   s.run_for(sim::seconds(5));
@@ -149,7 +149,7 @@ TEST(FifoOrder, TwoClientStreamsEachStayOrdered) {
   Scenario s(std::move(p));
   auto burst = [&](Client& c, std::uint32_t who) -> sim::Task<> {
     for (std::uint32_t i = 0; i < 25; ++i) {
-      (void)co_await c.begin(s.group(), kTagged, tag_buf({who, i}));
+      (void)co_await c.call_async(s.group(), kTagged, tag_buf({who, i}));
     }
   };
   s.scheduler().spawn(burst(s.client(0), 0), s.client_site(0).domain());
@@ -177,7 +177,7 @@ TEST(TotalOrder, AllServersExecuteIdenticalSequence) {
   Scenario s(std::move(p));
   auto burst = [&](Client& c, std::uint32_t who) -> sim::Task<> {
     for (std::uint32_t i = 0; i < 20; ++i) {
-      (void)co_await c.begin(s.group(), kTagged, tag_buf({who, i}));
+      (void)co_await c.call_async(s.group(), kTagged, tag_buf({who, i}));
     }
   };
   for (int i = 0; i < 3; ++i) {
@@ -213,7 +213,7 @@ TEST(TotalOrder, ConsistentAcrossServersUnderReordering) {
   Scenario s(std::move(p));
   auto burst = [&](Client& c, std::uint32_t who) -> sim::Task<> {
     for (std::uint32_t i = 0; i < 15; ++i) {
-      (void)co_await c.begin(s.group(), kTagged, tag_buf({who, i}));
+      (void)co_await c.call_async(s.group(), kTagged, tag_buf({who, i}));
     }
   };
   s.scheduler().spawn(burst(s.client(0), 0), s.client_site(0).domain());
@@ -258,7 +258,7 @@ TEST(TotalOrder, SurvivesLossyNetwork) {
   Scenario s(std::move(p));
   auto burst = [&](Client& c, std::uint32_t who) -> sim::Task<> {
     for (std::uint32_t i = 0; i < 15; ++i) {
-      (void)co_await c.begin(s.group(), kTagged, tag_buf({who, i}));
+      (void)co_await c.call_async(s.group(), kTagged, tag_buf({who, i}));
     }
   };
   s.scheduler().spawn(burst(s.client(0), 0), s.client_site(0).domain());

@@ -92,7 +92,7 @@ TEST_P(TotalOrderSweep, AllServersShareOneExecutionSequence) {
   Scenario s(std::move(p));
   auto burst = [&](Client& c, std::uint64_t base) -> sim::Task<> {
     for (std::uint64_t i = 0; i < 12; ++i) {
-      (void)co_await c.begin(s.group(), kOp, num_buf(base + i));
+      (void)co_await c.call_async(s.group(), kOp, num_buf(base + i));
     }
   };
   s.scheduler().spawn(burst(s.client(0), 100), s.client_site(0).domain());
@@ -135,7 +135,7 @@ TEST_P(FifoOrderSweep, PerClientOrderHoldsAtEveryServer) {
   Scenario s(std::move(p));
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     for (std::uint64_t i = 0; i < 25; ++i) {
-      (void)co_await c.begin(s.group(), kOp, num_buf(i));
+      (void)co_await c.call_async(s.group(), kOp, num_buf(i));
     }
   });
   s.run_for(sim::seconds(30));

@@ -30,7 +30,7 @@ TEST(Site, CrashTakesSiteDownAndKillsFibers) {
   };
   Scenario s(std::move(p));
   s.run_client(0, [&](Client& c) -> sim::Task<> {
-    (void)co_await c.begin(s.group(), kOp, Buffer{});  // cannot: sync config...
+    (void)co_await c.call_async(s.group(), kOp, Buffer{});  // cannot: sync config...
   }, sim::msec(50));
   const std::size_t fibers_before = s.scheduler().live_fiber_count();
   s.server(0).crash();

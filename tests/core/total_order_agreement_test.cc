@@ -60,7 +60,7 @@ void run_hazard(Scenario& s) {
   s.scheduler().schedule_after(sim::msec(200), [&s] { s.server(2).crash(); });
   auto burst = [&s](Client& c, std::uint64_t base, int n) -> sim::Task<> {
     for (int i = 0; i < n; ++i) {
-      (void)co_await c.begin(s.group(), kOp, num_buf(base + static_cast<std::uint64_t>(i)));
+      (void)co_await c.call_async(s.group(), kOp, num_buf(base + static_cast<std::uint64_t>(i)));
       co_await s.scheduler().sleep_for(sim::msec(15));
     }
   };
@@ -95,7 +95,7 @@ TEST(TotalOrderAgreement, ReconciliationAdoptsOrdersTheNewLeaderMissed) {
   s.scheduler().schedule_after(sim::msec(100), [&] { s.server(2).crash(); });
   auto burst = [&s](Client& c) -> sim::Task<> {
     for (std::uint64_t i = 0; i < 5; ++i) {
-      (void)co_await c.begin(s.group(), kOp, num_buf(i));
+      (void)co_await c.call_async(s.group(), kOp, num_buf(i));
       co_await s.scheduler().sleep_for(sim::msec(10));
     }
   };
@@ -118,8 +118,8 @@ TEST(TotalOrderAgreement, BootReconciliationDoesNotBlockFreshGroup) {
   sim::Time elapsed = 0;
   s.run_client(0, [&](Client& c) -> sim::Task<> {
     const sim::Time t0 = s.scheduler().now();
-    const CallId id = co_await c.begin(s.group(), kOp, num_buf(1));
-    result = co_await c.result(s.group(), id);
+    CallHandle h = co_await c.call_async(s.group(), kOp, num_buf(1));
+    result = co_await h.get();
     elapsed = s.scheduler().now() - t0;
   }, sim::seconds(30));
   EXPECT_EQ(result.status, Status::kOk);

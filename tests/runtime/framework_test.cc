@@ -270,6 +270,38 @@ TEST(Framework, IntrospectionListsRegistrationsInOrder) {
   EXPECT_EQ(f.fw.event_name(kOther), "event#2");
 }
 
+TEST(Framework, HandlerCacheRebuildsOnlyOnMutation) {
+  // Regression for the dispatch cache: repeated triggers must reuse the
+  // same generation, and any register/deregister must advance it while
+  // keeping the priority order intact.
+  Fixture f;
+  std::vector<int> out;
+  f.fw.register_handler(kPing, "c", 30, appender(out, 3));
+  f.fw.register_handler(kPing, "a", 10, appender(out, 1));
+  const std::uint64_t g0 = f.fw.generation(kPing);
+  f.sched.spawn(run_trigger(f.fw, kPing, {}));
+  f.sched.spawn(run_trigger(f.fw, kPing, {}));
+  f.sched.run();
+  EXPECT_EQ(f.fw.generation(kPing), g0) << "triggering must not invalidate the cache";
+  EXPECT_EQ(out, std::vector<int>({1, 3, 1, 3}));
+
+  out.clear();
+  const HandlerId mid = f.fw.register_handler(kPing, "b", 20, appender(out, 2));
+  EXPECT_GT(f.fw.generation(kPing), g0) << "registration must bump the generation";
+  f.sched.spawn(run_trigger(f.fw, kPing, {}));
+  f.sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 2, 3})) << "rebuilt chain must be priority-sorted";
+
+  out.clear();
+  const std::uint64_t g1 = f.fw.generation(kPing);
+  f.fw.deregister(mid);
+  EXPECT_GT(f.fw.generation(kPing), g1) << "deregistration must bump the generation";
+  f.sched.spawn(run_trigger(f.fw, kPing, {}));
+  f.sched.run();
+  EXPECT_EQ(out, std::vector<int>({1, 3}));
+  EXPECT_EQ(f.fw.generation(kOther), 0u) << "untouched events keep generation 0";
+}
+
 class CountingMp : public MicroProtocol {
  public:
   CountingMp(std::vector<std::string>& started) : MicroProtocol("Counting"), started_(started) {}
