@@ -1,0 +1,50 @@
+// Shared command-line plumbing for the custom bench binaries.
+//
+// Every bench accepts `--seed N` so a run can be reproduced (and sweeps can
+// vary the seed), and prints the seed it used into its output -- a number
+// in a results file that cannot be traced back to a seed is not evidence.
+// Benches with a JSON artifact also take `--out PATH`.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ugrpc::bench {
+
+struct Args {
+  std::uint64_t seed;
+  int calls;
+  std::string out;
+};
+
+/// Parses `--seed N`, `--calls N`, `--out PATH`; exits with usage on
+/// anything else.  Pass each option's default.
+inline Args parse_args(int argc, char** argv, std::uint64_t default_seed, int default_calls = 0,
+                       std::string default_out = {}) {
+  Args args{default_seed, default_calls, std::move(default_out)};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--calls") {
+      args.calls = std::atoi(next());
+    } else if (arg == "--out") {
+      args.out = next();
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N] [--calls N] [--out PATH]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace ugrpc::bench

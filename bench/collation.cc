@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
 #include "stub/stub.h"
@@ -78,9 +79,11 @@ std::vector<Strategy> strategies() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ugrpc::bench::Args args = ugrpc::bench::parse_args(argc, argv, /*default_seed=*/3);
   std::printf("=== B-collation: collation strategies over a 5-server group ===\n");
-  std::printf("(servers reply with their id: 1..5; acceptance=ALL)\n\n");
+  std::printf("(servers reply with their id: 1..5; acceptance=ALL; seed %llu)\n\n",
+              static_cast<unsigned long long>(args.seed));
   std::printf("%-24s | %-22s | %-12s\n", "strategy", "collated result", "latency (ms)");
   std::printf("-------------------------+------------------------+-------------\n");
   for (Strategy& strat : strategies()) {
@@ -90,7 +93,7 @@ int main() {
     p.config.collation = strat.fn;
     p.config.collation_init = strat.init;
     p.server_app = id_app();
-    p.seed = 3;
+    p.seed = args.seed;
     Scenario s(std::move(p));
     CallResult result;
     sim::Time t0 = 0;

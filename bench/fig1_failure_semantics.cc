@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
 
@@ -96,13 +97,13 @@ Config config_for(const SemanticsRow& row) {
 
 /// Phase 1: duplication + loss, no crash.  Returns executions beyond one
 /// per call ("duplicate executions").
-std::uint64_t measure_duplicates(const SemanticsRow& row) {
+std::uint64_t measure_duplicates(const SemanticsRow& row, std::uint64_t seed) {
   ScenarioParams p;
   p.num_servers = 1;
   p.config = config_for(row);
   p.faults.dup_prob = 0.4;
   p.faults.drop_prob = 0.1;
-  p.seed = 101;
+  p.seed = seed;
   p.server_app = two_step_app();
   Scenario s(std::move(p));
   const int calls = 25;
@@ -117,11 +118,11 @@ std::uint64_t measure_duplicates(const SemanticsRow& row) {
 /// Phase 2: crash the server mid-call, recover, let retransmission finish
 /// the call.  Returns whether the two-register invariant was ever torn
 /// (checked right after the crash, before and after recovery completes).
-bool measure_torn_state(const SemanticsRow& row) {
+bool measure_torn_state(const SemanticsRow& row, std::uint64_t seed) {
   ScenarioParams p;
   p.num_servers = 1;
   p.config = config_for(row);
-  p.seed = 202;
+  p.seed = seed + 101;  // distinct stream; default base 101 -> 202
   p.server_app = two_step_app();
   Scenario s(std::move(p));
   bool torn = false;
@@ -147,10 +148,12 @@ bool measure_torn_state(const SemanticsRow& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ugrpc::bench::Args args = ugrpc::bench::parse_args(argc, argv, /*default_seed=*/101);
   std::printf("=== Figure 1: failure semantics as combinations of properties ===\n");
   std::printf("(workload: dup_prob=0.4 drop_prob=0.1 for uniqueness; mid-call crash+recovery "
-              "for atomicity)\n\n");
+              "for atomicity; seed %llu)\n\n",
+              static_cast<unsigned long long>(args.seed));
   std::printf("%-15s | %-7s | %-7s | %-18s | %-14s\n", "semantics", "unique", "atomic",
               "dup executions", "torn state");
   std::printf("----------------+---------+---------+--------------------+---------------\n");
@@ -160,8 +163,8 @@ int main() {
       {"at most once", true, true},
   };
   for (const SemanticsRow& row : rows) {
-    const std::uint64_t dups = measure_duplicates(row);
-    const bool torn = measure_torn_state(row);
+    const std::uint64_t dups = measure_duplicates(row, args.seed);
+    const bool torn = measure_torn_state(row, args.seed);
     std::printf("%-15s | %-7s | %-7s | %-18llu | %-14s\n", row.name, row.unique ? "YES" : "NO",
                 row.atomic ? "YES" : "NO", static_cast<unsigned long long>(dups),
                 torn ? "TORN" : "consistent");

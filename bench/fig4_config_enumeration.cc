@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "bench_util.h"
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
 
@@ -26,13 +27,13 @@ using namespace ugrpc;
 using namespace ugrpc::core;
 
 /// Runs one call through a freshly built scenario with `config`.
-bool smoke_run(Config config) {
+bool smoke_run(Config config, std::uint64_t seed) {
   config.acceptance_limit = 1;
   // Unbounded-termination configs on a perfect network still terminate.
   ScenarioParams p;
   p.num_servers = 3;
   p.config = config;
-  p.seed = 11;
+  p.seed = seed;
   Scenario s(std::move(p));
   CallResult result;
   if (config.call == CallSemantics::kSynchronous) {
@@ -50,8 +51,10 @@ bool smoke_run(Config config) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Figure 4 / section 5: the configuration space ===\n\n");
+int main(int argc, char** argv) {
+  const ugrpc::bench::Args args = ugrpc::bench::parse_args(argc, argv, /*default_seed=*/11);
+  std::printf("=== Figure 4 / section 5: the configuration space ===\n(seed %llu)\n\n",
+              static_cast<unsigned long long>(args.seed));
 
   const ConfigSpace space = config_space();
   std::printf("call semantics variants:        %d\n", space.call_variants);
@@ -84,7 +87,7 @@ int main() {
   int pass = 0;
   int fail = 0;
   for (const Config& c : configs) {
-    if (smoke_run(c)) {
+    if (smoke_run(c, args.seed)) {
       ++pass;
     } else {
       ++fail;

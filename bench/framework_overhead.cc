@@ -18,6 +18,7 @@
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
 #include "net/message.h"
+#include "net/sim_transport.h"
 #include "runtime/framework.h"
 
 namespace {
@@ -28,7 +29,9 @@ constexpr runtime::EventId kEvent{1};
 
 void BM_EventDispatch(benchmark::State& state) {
   sim::Scheduler sched;
-  runtime::Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  runtime::Framework fw(transport, DomainId{1});
   const int handlers = static_cast<int>(state.range(0));
   for (int i = 0; i < handlers; ++i) {
     fw.register_handler(kEvent, "h" + std::to_string(i), i,
@@ -47,7 +50,9 @@ BENCHMARK(BM_EventDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_TimeoutRegistration(benchmark::State& state) {
   sim::Scheduler sched;
-  runtime::Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  runtime::Framework fw(transport, DomainId{1});
   for (auto _ : state) {
     TimerId id = fw.register_timeout("t", sim::seconds(10), []() -> sim::Task<> { co_return; });
     fw.cancel_timeout(id);

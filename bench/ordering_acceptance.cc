@@ -14,6 +14,7 @@
 // configuring acceptance per application.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
 
@@ -52,7 +53,7 @@ Config ordered_config(Ordering ordering) {
   return c;
 }
 
-void bench_ordering() {
+void bench_ordering(std::uint64_t seed) {
   std::printf("--- B-ordering: call latency (ms) vs group size, acceptance=ALL ---\n");
   std::printf("%-12s", "group size");
   for (int n : {1, 2, 3, 5, 8}) std::printf("  n=%-6d", n);
@@ -64,7 +65,7 @@ void bench_ordering() {
       ScenarioParams p;
       p.num_servers = n;
       p.config = ordered_config(ordering);
-      p.seed = 5;
+      p.seed = seed;
       std::printf("  %-8.3f", mean_latency_ms(std::move(p)));
     }
     std::printf("\n");
@@ -72,7 +73,7 @@ void bench_ordering() {
   std::printf("expected shape: none ~= fifo < total (Order dissemination adds a hop)\n\n");
 }
 
-void bench_acceptance() {
+void bench_acceptance(std::uint64_t seed) {
   std::printf("--- B-acceptance: call latency (ms) vs acceptance limit, 5 servers ---\n");
   std::printf("(server i thinks 2*(i-1) ms: members answer after 0,2,4,6,8 ms)\n");
   std::printf("%-14s  %-12s\n", "acceptance k", "latency (ms)");
@@ -81,7 +82,7 @@ void bench_acceptance() {
     p.num_servers = 5;
     p.config.acceptance_limit = k;
     p.config.reliable_communication = true;
-    p.seed = 5;
+    p.seed = seed;
     p.server_app = [](UserProtocol& user, Site& site) {
       const sim::Duration think = sim::msec(2) * (site.id().value() - 1);
       user.set_procedure([&site, think](OpId, Buffer&) -> sim::Task<> {
@@ -96,9 +97,11 @@ void bench_acceptance() {
 
 }  // namespace
 
-int main() {
-  std::printf("=== ordering & acceptance latency shapes ===\n\n");
-  bench_ordering();
-  bench_acceptance();
+int main(int argc, char** argv) {
+  const ugrpc::bench::Args args = ugrpc::bench::parse_args(argc, argv, /*default_seed=*/5);
+  std::printf("=== ordering & acceptance latency shapes ===\n(seed %llu)\n\n",
+              static_cast<unsigned long long>(args.seed));
+  bench_ordering(args.seed);
+  bench_acceptance(args.seed);
   return 0;
 }

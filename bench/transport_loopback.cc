@@ -1,0 +1,190 @@
+// Experiment B-transport -- what does the real network cost?
+//
+// The same exactly-once group RPC workload (one client, one server group,
+// sequential calls) run twice:
+//
+//   sim : the deterministic simulated fabric (SimTransport), zero-delay
+//         links -- measures pure stack overhead, no wire, no kernel
+//   udp : two UdpTransports in this process (client and server sides, each
+//         with its own sockets and executor) exchanging real datagrams over
+//         127.0.0.1 -- adds wire framing, sendto/recv, poll wakeups
+//
+// Reported per backend: wall-clock calls/sec and per-call latency p50/p99
+// (virtual microseconds for sim, real microseconds for udp).  Writes the
+// JSON artifact consumed by BENCH_transport.json when --out is given.
+//
+//   usage: transport_loopback [--seed N] [--calls N] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/config_builder.h"
+#include "core/scenario.h"
+#include "core/service.h"
+#include "net/udp_transport.h"
+
+namespace {
+
+using namespace ugrpc;
+
+constexpr GroupId kGroup{1};
+constexpr OpId kOp{1};
+
+struct Result {
+  int ok = 0;
+  double calls_per_sec = 0;  // wall clock
+  sim::Duration p50 = 0;
+  sim::Duration p99 = 0;
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+sim::Duration percentile(std::vector<sim::Duration> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+Result run_sim(std::uint64_t seed, int calls) {
+  core::ScenarioParams p;
+  p.num_servers = 1;
+  p.config = core::ConfigBuilder::exactly_once().build();
+  p.seed = seed;
+  core::Scenario s(std::move(p));
+  Result res;
+  std::vector<sim::Duration> latencies;
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run_client(0, [&](core::Client& c) -> sim::Task<> {
+    for (int i = 0; i < calls; ++i) {
+      const sim::Time start = s.scheduler().now();
+      const core::CallResult r = co_await c.call(s.group(), kOp, Buffer{});
+      if (r.ok()) {
+        ++res.ok;
+        latencies.push_back(s.scheduler().now() - start);
+      }
+    }
+  }, sim::seconds(600));
+  const double wall = wall_seconds_since(t0);
+  res.calls_per_sec = wall > 0 ? res.ok / wall : 0;
+  res.p50 = percentile(latencies, 0.50);
+  res.p99 = percentile(latencies, 0.99);
+  return res;
+}
+
+Result run_udp(std::uint64_t seed, int calls) {
+  // Two transports in one OS process: real sockets, real poll loops, the
+  // client's and the server's stacks each on their own executor --
+  // structurally the same as two processes, minus the fork.
+  constexpr ProcessId kServer{1};
+  constexpr ProcessId kClient{2};
+
+  net::UdpTransport::Options server_opt;
+  server_opt.seed = seed;
+  net::UdpTransport server_t(server_opt);
+  net::UdpTransport::Options client_opt;
+  client_opt.seed = seed + 1;
+  net::UdpTransport client_t(client_opt);
+
+  const std::set<ProcessId> known{kServer, kClient};
+  core::Site server(server_t, kServer, core::ConfigBuilder::exactly_once().build(), known);
+  core::Site client(client_t, kClient, core::ConfigBuilder::exactly_once().build(), known);
+
+  server_t.add_peer(kClient, "127.0.0.1", client_t.local_port(kClient));
+  client_t.add_peer(kServer, "127.0.0.1", server_t.local_port(kServer));
+  server_t.define_group(kGroup, {kServer});
+  client_t.define_group(kGroup, {kServer});
+
+  server.set_app([](core::UserProtocol& user, core::Site&) {
+    user.set_procedure([](OpId, Buffer&) -> sim::Task<> { co_return; });
+  });
+  server.boot();
+  client.boot();
+  core::Client handle(client);
+
+  Result res;
+  std::vector<sim::Duration> latencies;
+  const FiberId fiber = client_t.spawn(
+      [](core::Client& c, net::UdpTransport& t, int n, Result& out,
+         std::vector<sim::Duration>& lat) -> sim::Task<> {
+        for (int i = 0; i < n; ++i) {
+          const sim::Time start = t.now();
+          const core::CallResult r = co_await c.call(kGroup, kOp, Buffer{});
+          if (r.ok()) {
+            ++out.ok;
+            lat.push_back(t.now() - start);
+          }
+        }
+      }(handle, client_t, calls, res, latencies),
+      client.domain());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::Time stop_at = client_t.now() + sim::seconds(120);
+  while (client_t.executor().fiber_alive(fiber) && client_t.now() < stop_at) {
+    // Interleave the two event loops; zero-wait server poll keeps the
+    // client's poll timeout the only pacing.
+    client_t.poll_once(sim::usec(500));
+    server_t.poll_once(0);
+  }
+  const double wall = wall_seconds_since(t0);
+  res.calls_per_sec = wall > 0 ? res.ok / wall : 0;
+  res.p50 = percentile(latencies, 0.50);
+  res.p99 = percentile(latencies, 0.99);
+  return res;
+}
+
+void print_backend(std::FILE* f, const char* name, const Result& r, int calls, bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\"ok\": %d, \"calls\": %d, \"calls_per_sec\": %.0f, "
+               "\"p50_us\": %lld, \"p99_us\": %lld}%s\n",
+               name, r.ok, calls, r.calls_per_sec, static_cast<long long>(r.p50),
+               static_cast<long long>(r.p99), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, /*default_seed=*/21,
+                                             /*default_calls=*/2000);
+
+  std::printf("=== B-transport: group call over sim vs UDP loopback ===\n");
+  std::printf("(1 server, exactly-once, %d sequential calls, seed %llu)\n\n", args.calls,
+              static_cast<unsigned long long>(args.seed));
+
+  const Result sim_res = run_sim(args.seed, args.calls);
+  const Result udp_res = run_udp(args.seed, args.calls);
+
+  std::printf("%-6s | %8s | %12s | %10s | %10s\n", "mode", "ok", "calls/sec", "p50 us", "p99 us");
+  std::printf("-------+----------+--------------+------------+-----------\n");
+  std::printf("%-6s | %8d | %12.0f | %10lld | %10lld   (virtual latency)\n", "sim", sim_res.ok,
+              sim_res.calls_per_sec, static_cast<long long>(sim_res.p50),
+              static_cast<long long>(sim_res.p99));
+  std::printf("%-6s | %8d | %12.0f | %10lld | %10lld   (real latency)\n", "udp", udp_res.ok,
+              udp_res.calls_per_sec, static_cast<long long>(udp_res.p50),
+              static_cast<long long>(udp_res.p99));
+
+  if (!args.out.empty()) {
+    std::FILE* f = std::fopen(args.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"transport_loopback\",\n  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(args.seed));
+    std::fprintf(f, "  \"config\": \"exactly_once, 1 server\",\n  \"backends\": {\n");
+    print_backend(f, "sim", sim_res, args.calls, false);
+    print_backend(f, "udp_loopback", udp_res, args.calls, true);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", args.out.c_str());
+  }
+
+  const bool ok = sim_res.ok == args.calls && udp_res.ok == args.calls;
+  if (!ok) std::fprintf(stderr, "transport_loopback: not every call completed\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,232 @@
+// Group RPC over real UDP between separate OS processes.
+//
+// The exact protocol stack the simulator runs -- Site, GrpcComposite, the
+// micro-protocols -- booted over net::UdpTransport instead of the simulated
+// fabric.  The parent process forks one OS process per server, exchanges
+// the ephemeral UDP ports over pipes (no fixed ports, so parallel runs
+// cannot collide), then acts as the client: it multicasts each call to the
+// server group over 127.0.0.1 and waits for the exactly-once preset's
+// accepted reply.
+//
+//   usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]
+//
+// Exit status 0 iff every call completed OK with the echoed payload and
+// every server process shut down cleanly.  The CI smoke job runs
+// `udp_group_call --servers 1 --calls 100` under a hard timeout.
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config_builder.h"
+#include "core/service.h"
+#include "core/site.h"
+#include "net/udp_transport.h"
+
+namespace {
+
+using namespace ugrpc;
+
+constexpr GroupId kGroup{1};
+constexpr OpId kEcho{7};
+
+ProcessId server_id(int i) { return ProcessId{static_cast<std::uint32_t>(i + 1)}; }
+
+struct Cli {
+  int servers = 2;
+  int calls = 20;
+  int timeout_sec = 30;
+};
+
+Cli parse(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> int { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
+    if (arg == "--servers") cli.servers = next();
+    else if (arg == "--calls") cli.calls = next();
+    else if (arg == "--timeout-sec") cli.timeout_sec = next();
+    else {
+      std::fprintf(stderr, "usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]\n");
+      std::exit(2);
+    }
+  }
+  if (cli.servers < 1 || cli.calls < 1 || cli.timeout_sec < 1) std::exit(2);
+  return cli;
+}
+
+void write_u16(int fd, std::uint16_t v) {
+  const ssize_t n = ::write(fd, &v, sizeof(v));
+  if (n != sizeof(v)) { std::fprintf(stderr, "pid %d: write_u16 failed: %s\n", getpid(), std::strerror(errno)); std::exit(1); }
+}
+
+std::uint16_t read_u16(int fd) {
+  std::uint16_t v = 0;
+  ssize_t n = ::read(fd, &v, sizeof(v));
+  if (n != sizeof(v)) { std::fprintf(stderr, "pid %d: read_u16 got %zd: %s\n", getpid(), n, std::strerror(errno)); std::exit(1); }
+  return v;
+}
+
+/// Server child: boot a Site over UDP, serve until the control pipe closes.
+[[noreturn]] void run_server(const Cli& cli, int index, int port_out_fd, int ctl_fd) {
+  const ProcessId my_id = server_id(index);
+  const ProcessId client_id{static_cast<std::uint32_t>(cli.servers + 1)};
+
+  net::UdpTransport::Options opt;
+  opt.seed = my_id.value();
+  net::UdpTransport transport(opt);
+
+  std::set<ProcessId> known;
+  std::vector<ProcessId> members;
+  for (int i = 0; i < cli.servers; ++i) {
+    known.insert(server_id(i));
+    members.push_back(server_id(i));
+  }
+  known.insert(client_id);
+
+  core::Site site(transport, my_id, core::ConfigBuilder::exactly_once().build(), known);
+  write_u16(port_out_fd, transport.local_port(my_id));
+  ::close(port_out_fd);
+
+  // Learn the client's and the other servers' ports from the parent.
+  transport.add_peer(client_id, "127.0.0.1", read_u16(ctl_fd));
+  for (int i = 0; i < cli.servers; ++i) {
+    const std::uint16_t port = read_u16(ctl_fd);
+    if (server_id(i) != my_id) transport.add_peer(server_id(i), "127.0.0.1", port);
+  }
+  transport.define_group(kGroup, members);
+
+  site.set_app([](core::UserProtocol& user, core::Site&) {
+    user.set_procedure([](OpId, Buffer&) -> sim::Task<> { co_return; });  // echo
+  });
+  site.boot();
+
+  // Handshake done; from here control reads only poll for the parent's EOF.
+  ::fcntl(ctl_fd, F_SETFL, O_NONBLOCK);
+
+  // Serve until the parent closes its end of the control pipe (EOF).
+  for (;;) {
+    transport.run_for(sim::msec(20));
+    char byte;
+    const ssize_t n = ::read(ctl_fd, &byte, 1);  // ctl_fd is non-blocking
+    if (n == 0) break;                           // EOF: parent is done
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) break;
+  }
+  std::exit(0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse(argc, argv);
+  const ProcessId client_id{static_cast<std::uint32_t>(cli.servers + 1)};
+
+  struct Child {
+    pid_t pid;
+    int port_fd;  // child -> parent: its ephemeral port
+    int ctl_fd;   // parent -> child: peer ports, then EOF to shut down
+  };
+  std::vector<Child> children;
+  for (int i = 0; i < cli.servers; ++i) {
+    int port_pipe[2];
+    int ctl_pipe[2];
+    if (::pipe(port_pipe) != 0 || ::pipe(ctl_pipe) != 0) return 1;
+    const pid_t pid = ::fork();
+    if (pid < 0) return 1;
+    if (pid == 0) {
+      ::close(port_pipe[0]);
+      ::close(ctl_pipe[1]);
+      for (const Child& c : children) {  // inherited older siblings' fds
+        ::close(c.port_fd);
+        ::close(c.ctl_fd);
+      }
+      run_server(cli, i, port_pipe[1], ctl_pipe[0]);
+    }
+    ::close(port_pipe[1]);
+    ::close(ctl_pipe[0]);
+    children.push_back(Child{pid, port_pipe[0], ctl_pipe[1]});
+  }
+
+  // Client side: attach, learn every server's port, tell every server about
+  // the client and its peers.
+  net::UdpTransport::Options opt;
+  opt.seed = client_id.value();
+  net::UdpTransport transport(opt);
+
+  std::set<ProcessId> known;
+  std::vector<ProcessId> members;
+  for (int i = 0; i < cli.servers; ++i) {
+    known.insert(server_id(i));
+    members.push_back(server_id(i));
+  }
+  known.insert(client_id);
+
+  core::Site site(transport, client_id, core::ConfigBuilder::exactly_once().build(), known);
+  const std::uint16_t client_port = transport.local_port(client_id);
+
+  std::vector<std::uint16_t> server_ports;
+  for (const Child& c : children) {
+    server_ports.push_back(read_u16(c.port_fd));
+    ::close(c.port_fd);
+  }
+  for (int i = 0; i < cli.servers; ++i) {
+    transport.add_peer(server_id(i), "127.0.0.1", server_ports[static_cast<std::size_t>(i)]);
+  }
+  transport.define_group(kGroup, members);
+  for (const Child& c : children) {
+    write_u16(c.ctl_fd, client_port);
+    for (std::uint16_t port : server_ports) write_u16(c.ctl_fd, port);
+  }
+
+  site.boot();
+  core::Client client(site);
+
+  int ok = 0;
+  int bad_payload = 0;
+  const FiberId fiber = transport.spawn(
+      [](core::Client& c, const Cli& cfg, int& ok_count, int& bad) -> sim::Task<> {
+        for (int i = 0; i < cfg.calls; ++i) {
+          Buffer args;
+          Writer(args).u64(static_cast<std::uint64_t>(i) * 31 + 7);
+          const core::CallResult r = co_await c.call(kGroup, kEcho, args);
+          if (!r.ok()) continue;
+          if (Reader(r.result).u64() == static_cast<std::uint64_t>(i) * 31 + 7) ++ok_count;
+          else ++bad;
+        }
+      }(client, cli, ok, bad_payload),
+      site.domain());
+
+  const bool finished = transport.run_until_fiber_done(fiber, sim::seconds(cli.timeout_sec));
+
+  // Shut the servers down: closing the control pipes EOFs their serve loop.
+  for (const Child& c : children) ::close(c.ctl_fd);
+  bool children_ok = true;
+  for (const Child& c : children) {
+    int status = 0;
+    if (::waitpid(c.pid, &status, 0) != c.pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      children_ok = false;
+    }
+  }
+
+  const net::Stats& stats = transport.stats();
+  std::printf("udp_group_call: %d/%d calls ok (%d bad payloads) over %d server process(es)\n", ok,
+              cli.calls, bad_payload, cli.servers);
+  std::printf("  client transport: sent=%llu delivered=%llu dropped=%llu bytes_sent=%llu "
+              "bytes_delivered=%llu\n",
+              static_cast<unsigned long long>(stats.sent),
+              static_cast<unsigned long long>(stats.delivered),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_delivered));
+  if (!finished) std::fprintf(stderr, "udp_group_call: client did not finish before timeout\n");
+  if (!children_ok) std::fprintf(stderr, "udp_group_call: a server process exited abnormally\n");
+  return (finished && ok == cli.calls && bad_payload == 0 && children_ok) ? 0 : 1;
+}

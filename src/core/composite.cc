@@ -23,12 +23,11 @@ DomainId domain_of(ProcessId p) { return DomainId{p.value()}; }
 
 }  // namespace
 
-GrpcComposite::GrpcComposite(sim::Scheduler& sched, net::Network& network,
-                             net::Endpoint& endpoint, ProcessId my_id,
+GrpcComposite::GrpcComposite(net::Transport& transport, net::Endpoint& endpoint, ProcessId my_id,
                              storage::StableStore& stable, UserProtocol& user,
                              const Config& config, std::set<ProcessId> known)
-    : runtime::CompositeProtocol(sched, domain_of(my_id)), config_(config),
-      state_(sched, network, endpoint, my_id), endpoint_(endpoint), stable_(stable) {
+    : runtime::CompositeProtocol(transport, domain_of(my_id)), config_(config),
+      state_(transport, endpoint, my_id), endpoint_(endpoint), stable_(stable) {
   UGRPC_ASSERT((config_.unsafe_skip_validation || is_valid(config_)) &&
                "configuration violates the dependency graph");
   state_.user = &user;

@@ -10,7 +10,7 @@
 #include "core/events.h"
 #include "core/grpc_state.h"
 #include "core/user_protocol.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "runtime/composite.h"
 #include "storage/stable_store.h"
 
@@ -28,13 +28,14 @@ class TerminateOrphan;
 
 class GrpcComposite : public runtime::CompositeProtocol {
  public:
-  /// Builds, wires and starts a composite realizing `config`.  `known`
-  /// initializes the live-member set (without a membership service it stays
-  /// constant, per the paper).  The caller must have validated the config
-  /// (asserted here).
-  GrpcComposite(sim::Scheduler& sched, net::Network& network, net::Endpoint& endpoint,
-                ProcessId my_id, storage::StableStore& stable, UserProtocol& user,
-                const Config& config, std::set<ProcessId> known);
+  /// Builds, wires and starts a composite realizing `config` on `transport`
+  /// (traffic through `endpoint`, timers and fibers through the transport's
+  /// hooks).  `known` initializes the live-member set (without a membership
+  /// service it stays constant, per the paper).  The caller must have
+  /// validated the config (asserted here).
+  GrpcComposite(net::Transport& transport, net::Endpoint& endpoint, ProcessId my_id,
+                storage::StableStore& stable, UserProtocol& user, const Config& config,
+                std::set<ProcessId> known);
 
   /// Entry point from the user protocol (UPI push): runs the
   /// CALL_FROM_USER event chain in the calling fiber.  With Synchronous Call

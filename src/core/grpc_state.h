@@ -28,7 +28,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "net/message.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 
@@ -137,13 +137,14 @@ class UserProtocol;  // defined in user_protocol.h
 
 /// The shared data structure hosted by the gRPC framework.
 struct GrpcState {
-  GrpcState(sim::Scheduler& sched_, net::Network& network_, net::Endpoint& endpoint_,
-            ProcessId my_id_)
-      : sched(sched_), network(network_), endpoint(endpoint_), my_id(my_id_),
-        pRPC_mutex(sched_), sRPC_mutex(sched_), serial(sched_, 1) {}
+  GrpcState(net::Transport& transport_, net::Endpoint& endpoint_, ProcessId my_id_)
+      : transport(transport_), sched(transport_.executor()), endpoint(endpoint_), my_id(my_id_),
+        pRPC_mutex(sched), sRPC_mutex(sched), serial(sched, 1) {}
 
+  net::Transport& transport;
+  /// The transport's cooperative executor, for synchronization primitives
+  /// and fiber control.  Traffic and timers go through `transport`.
   sim::Scheduler& sched;
-  net::Network& network;
   net::Endpoint& endpoint;
   ProcessId my_id;
   Incarnation inc_number = 1;   ///< this site's current incarnation

@@ -80,7 +80,7 @@ sim::Task<> RpcMain::msg_from_user(runtime::EventContext& ctx) {
     auto guard = co_await state_.pRPC_mutex.lock();
     const CallId id = make_call_id(state_.my_id, state_.next_seq++);
     rec = std::make_shared<ClientRecord>(state_.sched, id, umsg.op, umsg.args, umsg.server);
-    for (ProcessId p : state_.network.group_members(umsg.server)) {
+    for (ProcessId p : state_.transport.group_members(umsg.server)) {
       rec->pending.emplace(p, PendingServer{});
     }
     state_.pRPC[id] = rec;

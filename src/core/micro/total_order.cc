@@ -26,7 +26,7 @@ void TotalOrder::start(runtime::Framework& fw) {
   // orders from a fresh counter: reconcile with the group first.
   if (options_.agreement && state_.my_id == leader(group_)) {
     bool has_peers = false;
-    for (ProcessId p : state_.network.group_members(group_)) {
+    for (ProcessId p : state_.transport.group_members(group_)) {
       if (p != state_.my_id && state_.members.contains(p)) has_peers = true;
     }
     if (has_peers) begin_reconciliation();
@@ -35,7 +35,7 @@ void TotalOrder::start(runtime::Framework& fw) {
 
 ProcessId TotalOrder::leader(GroupId group) const {
   ProcessId best{0};
-  for (ProcessId p : state_.network.group_members(group)) {
+  for (ProcessId p : state_.transport.group_members(group)) {
     if (state_.members.contains(p) && p.value() > best.value()) best = p;
   }
   return best;
@@ -192,7 +192,7 @@ void TotalOrder::begin_reconciliation() {
   reconciling_ = true;
   ++reconciliations_;
   awaiting_info_.clear();
-  for (ProcessId p : state_.network.group_members(group_)) {
+  for (ProcessId p : state_.transport.group_members(group_)) {
     if (p != state_.my_id && state_.members.contains(p)) awaiting_info_.insert(p);
   }
   UGRPC_LOG(kDebug, "total@%u: reconciling with %zu members", state_.my_id.value(),

@@ -2,21 +2,20 @@
 
 namespace ugrpc::core {
 
-P2pRpc::P2pRpc(sim::Scheduler& sched, net::Network& network, net::Endpoint& endpoint,
-               ProcessId my_id, UserProtocol& user, Options options)
-    : sched_(sched), network_(network), endpoint_(endpoint), my_id_(my_id), user_(user),
-      options_(options) {
+P2pRpc::P2pRpc(net::Transport& transport, net::Endpoint& endpoint, ProcessId my_id,
+               UserProtocol& user, Options options)
+    : transport_(transport), endpoint_(endpoint), my_id_(my_id), user_(user), options_(options) {
   endpoint_.set_handler(kP2pProto, [this](net::Packet pkt) { return on_packet(std::move(pkt)); });
 }
 
 P2pRpc::~P2pRpc() {
-  sched_.cancel_timer(retrans_timer_);
+  transport_.cancel_timer(retrans_timer_);
   endpoint_.clear_handler(kP2pProto);
 }
 
 sim::Task<CallResult> P2pRpc::call(ProcessId server, OpId op, Buffer args) {
   const CallId id = make_call_id(my_id_, next_seq_++);
-  auto rec = std::make_shared<Pending>(sched_);
+  auto rec = std::make_shared<Pending>(transport_.executor());
   rec->server = server;
   rec->op = op;
   rec->request = args;
@@ -33,7 +32,7 @@ sim::Task<CallResult> P2pRpc::call(ProcessId server, OpId op, Buffer args) {
 
   TimerId deadline{};
   if (options_.termination_bound.has_value()) {
-    deadline = sched_.schedule_after(
+    deadline = transport_.schedule_after(
         *options_.termination_bound,
         [rec] {
           if (rec->status == Status::kWaiting) {
@@ -45,7 +44,7 @@ sim::Task<CallResult> P2pRpc::call(ProcessId server, OpId op, Buffer args) {
   }
 
   co_await rec->sem.acquire();
-  sched_.cancel_timer(deadline);
+  transport_.cancel_timer(deadline);
   pending_.erase(id);
   co_return CallResult{rec->status, std::move(rec->result), id};
 }
@@ -111,7 +110,7 @@ sim::Task<> P2pRpc::serve_call(net::NetMessage msg) {
 void P2pRpc::arm_retransmit_timer() {
   if (timer_armed_) return;
   timer_armed_ = true;
-  retrans_timer_ = sched_.schedule_after(
+  retrans_timer_ = transport_.schedule_after(
       options_.retrans_timeout,
       [this] {
         timer_armed_ = false;

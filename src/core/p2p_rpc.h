@@ -21,8 +21,7 @@
 #include "core/service.h"
 #include "core/user_protocol.h"
 #include "net/message.h"
-#include "net/network.h"
-#include "sim/scheduler.h"
+#include "net/transport.h"
 #include "sim/sync.h"
 
 namespace ugrpc::core {
@@ -40,8 +39,8 @@ class P2pRpc {
   };
 
   /// One instance per process; acts as both client and server half.
-  P2pRpc(sim::Scheduler& sched, net::Network& network, net::Endpoint& endpoint, ProcessId my_id,
-         UserProtocol& user, Options options);
+  P2pRpc(net::Transport& transport, net::Endpoint& endpoint, ProcessId my_id, UserProtocol& user,
+         Options options);
   ~P2pRpc();
 
   P2pRpc(const P2pRpc&) = delete;
@@ -71,8 +70,7 @@ class P2pRpc {
   }
   void arm_retransmit_timer();
 
-  sim::Scheduler& sched_;
-  net::Network& network_;
+  net::Transport& transport_;
   net::Endpoint& endpoint_;
   ProcessId my_id_;
   UserProtocol& user_;

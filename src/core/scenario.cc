@@ -9,6 +9,7 @@ void echo_app(UserProtocol& user, Site&) {
 Scenario::Scenario(ScenarioParams params) : params_(std::move(params)), sched_(params_.seed) {
   net_ = std::make_unique<net::Network>(sched_);
   net_->set_default_faults(params_.faults);
+  transport_ = std::make_unique<net::SimTransport>(*net_);
 
   // client_id() depends on servers_.size(); during construction compute the
   // ids from the params instead.
@@ -30,14 +31,14 @@ Scenario::Scenario(ScenarioParams params) : params_(std::move(params)), sched_(p
 
   const Site::AppSetup app = params_.server_app ? params_.server_app : echo_app;
   for (int i = 0; i < params_.num_servers; ++i) {
-    auto site = std::make_unique<Site>(sched_, *net_, server_id(i), params_.config, known,
+    auto site = std::make_unique<Site>(*transport_, server_id(i), params_.config, known,
                                        all_procs);
     site->set_app(app);
     site->boot();
     servers_.push_back(std::move(site));
   }
   for (int i = 0; i < params_.num_clients; ++i) {
-    auto site = std::make_unique<Site>(sched_, *net_, client_id(i), params_.config, known,
+    auto site = std::make_unique<Site>(*transport_, client_id(i), params_.config, known,
                                        all_procs);
     site->boot();
     clients_.push_back(std::move(site));

@@ -5,11 +5,11 @@
 
 namespace ugrpc::core {
 
-Site::Site(sim::Scheduler& sched, net::Network& network, ProcessId id, Config config,
-           std::set<ProcessId> known, std::vector<ProcessId> watch)
-    : sched_(sched), network_(network), id_(id), config_(std::move(config)),
-      known_(std::move(known)), watch_(std::move(watch)), stable_(sched) {
-  endpoint_ = &network_.attach(id_, domain());
+Site::Site(net::Transport& transport, ProcessId id, Config config, std::set<ProcessId> known,
+           std::vector<ProcessId> watch)
+    : transport_(transport), id_(id), config_(std::move(config)), known_(std::move(known)),
+      watch_(std::move(watch)), stable_(transport.executor()) {
+  endpoint_ = &transport_.attach(id_, domain());
 }
 
 Site::~Site() {
@@ -23,20 +23,20 @@ void Site::boot() {
 }
 
 void Site::build_stack() {
-  network_.set_process_up(id_, true);
+  transport_.set_process_up(id_, true);
   up_ = true;
   user_ = std::make_unique<UserProtocol>();
   if (app_setup_) app_setup_(*user_, *this);
-  grpc_ = std::make_unique<GrpcComposite>(sched_, network_, *endpoint_, id_, stable_, *user_,
-                                          config_, known_);
+  grpc_ = std::make_unique<GrpcComposite>(transport_, *endpoint_, id_, stable_, *user_, config_,
+                                          known_);
   grpc_->state().inc_number = inc_;
   grpc_->state().next_seq = first_seq_of_incarnation(inc_);
   if (config_.use_membership && !watch_.empty()) {
     monitor_ = std::make_unique<membership::MembershipMonitor>(
-        network_, *endpoint_, watch_, config_.membership_params, /*beat=*/true);
+        transport_, *endpoint_, watch_, config_.membership_params, /*beat=*/true);
     monitor_->set_listener([this](ProcessId who, membership::Change change) {
       // Run the MEMBERSHIP_CHANGE chain in its own fiber: handlers may block.
-      sched_.spawn(grpc_->notify_membership(who, change), domain());
+      transport_.spawn(grpc_->notify_membership(who, change), domain());
     });
     monitor_->start();
   }
@@ -44,11 +44,11 @@ void Site::build_stack() {
 
 void Site::teardown_stack() {
   executions_before_crashes_ += user_ != nullptr ? user_->executions() : 0;
-  network_.set_process_up(id_, false);  // first: drop all in-flight deliveries
+  transport_.set_process_up(id_, false);  // first: drop all in-flight deliveries
   up_ = false;
-  sched_.kill_domain(domain());         // kill every thread of control
+  transport_.kill_domain(domain());       // kill every thread of control
   monitor_.reset();
-  grpc_.reset();                        // framework destructor cancels timers
+  grpc_.reset();                          // framework destructor cancels timers
   user_.reset();
   endpoint_->clear_all_handlers();
 }
@@ -64,7 +64,7 @@ void Site::recover() {
   ++inc_;
   UGRPC_LOG(kDebug, "site %u: recovering as incarnation %u", id_.value(), inc_);
   build_stack();
-  sched_.spawn(grpc_->signal_recovery(inc_), domain());
+  transport_.spawn(grpc_->signal_recovery(inc_), domain());
 }
 
 GrpcComposite& Site::grpc() {

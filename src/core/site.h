@@ -1,4 +1,4 @@
-// A site: one simulated machine running the gRPC protocol stack.
+// A site: one machine running the gRPC protocol stack.
 //
 // Owns the durable identity of a process (ProcessId, incarnation counter,
 // stable store) and its *volatile* stack (user protocol, gRPC composite,
@@ -8,6 +8,10 @@
 // state snapshot hooks) through an AppSetup callback that runs at boot and
 // after every recovery, mirroring how a real server re-initializes from
 // stable storage.
+//
+// A Site programs exclusively against net::Transport: over SimTransport it
+// is one simulated machine in a deterministic experiment; over UdpTransport
+// it boots on an actual host and serves group calls from other OS processes.
 #pragma once
 
 #include <functional>
@@ -19,7 +23,7 @@
 #include "core/config.h"
 #include "core/user_protocol.h"
 #include "membership/membership.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "storage/stable_store.h"
 
 namespace ugrpc::core {
@@ -34,8 +38,8 @@ class Site {
   /// `known` seeds the composite's live-member set; `watch` (usually the
   /// server group plus clients of interest) is monitored when
   /// config.use_membership is set.
-  Site(sim::Scheduler& sched, net::Network& network, ProcessId id, Config config,
-       std::set<ProcessId> known, std::vector<ProcessId> watch = {});
+  Site(net::Transport& transport, ProcessId id, Config config, std::set<ProcessId> known,
+       std::vector<ProcessId> watch = {});
   ~Site();
 
   Site(const Site&) = delete;
@@ -47,7 +51,7 @@ class Site {
   void boot();
 
   /// Crash failure: kills every fiber of this site, destroys the volatile
-  /// stack, detaches from the network.  The stable store survives.
+  /// stack, goes dark on the transport.  The stable store survives.
   void crash();
 
   /// Recovers with the next incarnation number; rebuilds the stack, re-runs
@@ -63,8 +67,9 @@ class Site {
   [[nodiscard]] UserProtocol& user();
   [[nodiscard]] storage::StableStore& stable() { return stable_; }
   [[nodiscard]] membership::MembershipMonitor* monitor() { return monitor_.get(); }
-  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
-  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] net::Transport& transport() { return transport_; }
+  /// The transport's executor; convenience for tests and experiment drivers.
+  [[nodiscard]] sim::Scheduler& scheduler() { return transport_.executor(); }
 
   /// Cumulative server-procedure executions across all incarnations
   /// (UserProtocol::executions() resets with the volatile stack; this does
@@ -75,8 +80,7 @@ class Site {
   void build_stack();
   void teardown_stack();
 
-  sim::Scheduler& sched_;
-  net::Network& network_;
+  net::Transport& transport_;
   ProcessId id_;
   Config config_;
   std::set<ProcessId> known_;

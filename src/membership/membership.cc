@@ -20,23 +20,22 @@ DomainId domain_of(ProcessId p) { return DomainId{p.value()}; }
 
 }  // namespace
 
-MembershipMonitor::MembershipMonitor(net::Network& network, net::Endpoint& endpoint,
+MembershipMonitor::MembershipMonitor(net::Transport& transport, net::Endpoint& endpoint,
                                      std::vector<ProcessId> watch, Params params, bool beat)
-    : network_(network), endpoint_(endpoint), watch_(std::move(watch)), params_(params),
+    : transport_(transport), endpoint_(endpoint), watch_(std::move(watch)), params_(params),
       beat_(beat) {
   UGRPC_ASSERT(params_.failure_timeout > params_.heartbeat_interval);
 }
 
 MembershipMonitor::~MembershipMonitor() {
-  auto& sched = network_.scheduler();
-  sched.cancel_timer(heartbeat_timer_);
-  sched.cancel_timer(check_timer_);
+  transport_.cancel_timer(heartbeat_timer_);
+  transport_.cancel_timer(check_timer_);
 }
 
 void MembershipMonitor::start() {
   UGRPC_ASSERT(!started_);
   started_ = true;
-  const sim::Time now = network_.scheduler().now();
+  const sim::Time now = transport_.now();
   for (ProcessId p : watch_) {
     if (p == endpoint_.process()) continue;  // never monitor oneself
     peers_.emplace(p, PeerState{now, true});
@@ -45,7 +44,7 @@ void MembershipMonitor::start() {
     const ProcessId who = decode_heartbeat(pkt.payload);
     auto it = peers_.find(who);
     if (it == peers_.end()) co_return;  // not watched
-    it->second.last_heard = network_.scheduler().now();
+    it->second.last_heard = transport_.now();
     if (!it->second.alive) {
       it->second.alive = true;
       UGRPC_LOG(kDebug, "membership@%u: RECOVERY of %u", endpoint_.process().value(),
@@ -70,7 +69,7 @@ void MembershipMonitor::send_heartbeat() {
 }
 
 void MembershipMonitor::arm_heartbeat_timer() {
-  heartbeat_timer_ = network_.scheduler().schedule_after(
+  heartbeat_timer_ = transport_.schedule_after(
       params_.heartbeat_interval,
       [this] {
         send_heartbeat();
@@ -80,7 +79,7 @@ void MembershipMonitor::arm_heartbeat_timer() {
 }
 
 void MembershipMonitor::check_failures() {
-  const sim::Time now = network_.scheduler().now();
+  const sim::Time now = transport_.now();
   for (auto& [who, state] : peers_) {
     if (state.alive && now - state.last_heard > params_.failure_timeout) {
       state.alive = false;
@@ -91,7 +90,7 @@ void MembershipMonitor::check_failures() {
 }
 
 void MembershipMonitor::arm_check_timer() {
-  check_timer_ = network_.scheduler().schedule_after(
+  check_timer_ = transport_.schedule_after(
       params_.heartbeat_interval,
       [this] {
         check_failures();

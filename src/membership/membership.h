@@ -21,8 +21,8 @@
 
 #include "common/buffer.h"
 #include "common/ids.h"
-#include "net/network.h"
-#include "sim/scheduler.h"
+#include "net/transport.h"
+#include "sim/time.h"
 
 namespace ugrpc::membership {
 
@@ -47,11 +47,12 @@ class MembershipMonitor {
  public:
   using Listener = std::function<void(ProcessId who, Change change)>;
 
-  /// `endpoint` is the observing site's network attachment; `watch` is the
+  /// `endpoint` is the observing site's transport attachment; `watch` is the
   /// set of processes to monitor (typically the server group); `beat` says
   /// whether this site itself emits heartbeats (servers do; a pure client
-  /// that only observes does not need to).
-  MembershipMonitor(net::Network& network, net::Endpoint& endpoint,
+  /// that only observes does not need to).  Heartbeat and check timers are
+  /// armed through the transport's timer hooks.
+  MembershipMonitor(net::Transport& transport, net::Endpoint& endpoint,
                     std::vector<ProcessId> watch, Params params, bool beat);
   ~MembershipMonitor();
 
@@ -74,7 +75,7 @@ class MembershipMonitor {
   void arm_heartbeat_timer();
   void arm_check_timer();
 
-  net::Network& network_;
+  net::Transport& transport_;
   net::Endpoint& endpoint_;
   std::vector<ProcessId> watch_;
   Params params_;

@@ -7,29 +7,20 @@
 
 namespace ugrpc::net {
 
-void Endpoint::set_handler(ProtocolId proto, PacketHandler handler) {
-  handlers_[proto] = std::make_shared<PacketHandler>(std::move(handler));
-}
-
-void Endpoint::clear_handler(ProtocolId proto) { handlers_.erase(proto); }
-
-void Endpoint::send(ProcessId dst, ProtocolId proto, Buffer payload) {
-  net_->transmit(process_, dst, proto, payload);
-}
-
-void Endpoint::multicast(GroupId group, ProtocolId proto, Buffer payload) {
-  for (ProcessId member : net_->group_members(group)) {
-    net_->transmit(process_, member, proto, payload);
-  }
-}
-
 Network::Network(sim::Scheduler& sched) : sched_(sched), rng_(sched.rng().fork()) {}
 
 Endpoint& Network::attach(ProcessId process, DomainId domain) {
-  auto [it, inserted] = endpoints_.try_emplace(process, Endpoint(*this, process, domain));
+  // In-place construction: Endpoint is pinned (handler table address escapes
+  // into delivery closures), so it is neither copyable nor movable.
+  auto [it, inserted] = endpoints_.try_emplace(process, *this, process, domain);
   UGRPC_ASSERT(inserted && "process already attached");
   up_[process] = true;
   return it->second;
+}
+
+void Network::detach(ProcessId process) {
+  endpoints_.erase(process);
+  up_.erase(process);
 }
 
 FaultSpec& Network::link(ProcessId from, ProcessId to) {
@@ -59,15 +50,34 @@ const std::vector<ProcessId>& Network::group_members(GroupId group) const {
   return it->second;
 }
 
+Network::LinkStats Network::link_stats(ProcessId from, ProcessId to) const {
+  auto it = link_stats_.find({from, to});
+  return it != link_stats_.end() ? it->second : LinkStats{};
+}
+
 void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buffer& payload) {
+  if (!endpoints_.contains(to)) {
+    // No attachment now and none possible by delivery time from this send:
+    // the packet has no route.  Count it instead of letting it vanish.
+    ++stats_.unroutable;
+    UGRPC_LOG(kWarn, "net: unroutable %u->%u proto=%u (destination not attached)", from.value(),
+              to.value(), proto.value());
+    return;
+  }
+  LinkStats& link = link_stats_[{from, to}];
   ++stats_.sent;
+  ++link.sent;
+  stats_.bytes_sent += payload.size();
+  link.bytes_sent += payload.size();
   if (!process_up(from)) {
     ++stats_.dropped;
+    ++link.dropped;
     return;  // crashed senders produce nothing
   }
   const FaultSpec& spec = faults_for(from, to);
   if (spec.partitioned || rng_.bernoulli(spec.drop_prob)) {
     ++stats_.dropped;
+    ++link.dropped;
     if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDropped);
     UGRPC_LOG(kTrace, "net: drop %u->%u proto=%u", from.value(), to.value(), proto.value());
     return;
@@ -81,8 +91,23 @@ void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buf
   schedule_delivery(Packet{from, to, proto, payload}, draw_delay());
   if (rng_.bernoulli(spec.dup_prob)) {
     ++stats_.duplicated;
+    ++link.duplicated;
     if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDuplicated);
     schedule_delivery(Packet{from, to, proto, payload}, draw_delay());
+  }
+}
+
+void Network::multicast_from(ProcessId from, GroupId group, ProtocolId proto,
+                             const Buffer& payload) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    ++stats_.unroutable;
+    UGRPC_LOG(kWarn, "net: unroutable multicast from %u to undefined group %u proto=%u",
+              from.value(), group.value(), proto.value());
+    return;
+  }
+  for (ProcessId member : it->second) {
+    transmit(from, member, proto, payload);
   }
 }
 
@@ -91,24 +116,30 @@ void Network::schedule_delivery(Packet packet, sim::Duration delay) {
     auto it = endpoints_.find(packet.dst);
     if (it == endpoints_.end() || !process_up(packet.dst)) {
       ++stats_.dropped;
-      return;  // destination crashed while the packet was in flight
+      ++link_stats_[{packet.src, packet.dst}].dropped;
+      return;  // destination crashed or detached while the packet was in flight
     }
-    Endpoint& ep = it->second;
-    auto handler_it = ep.handlers_.find(packet.proto);
-    if (handler_it == ep.handlers_.end()) {
+    SimEndpoint& ep = it->second;
+    std::shared_ptr<PacketHandler> handler = ep.handler(packet.proto);
+    if (handler == nullptr) {
       ++stats_.dropped;
+      ++link_stats_[{packet.src, packet.dst}].dropped;
       UGRPC_LOG(kDebug, "net: no handler for proto=%u at %u", packet.proto.value(),
                 packet.dst.value());
       return;
     }
     ++stats_.delivered;
+    LinkStats& link = link_stats_[{packet.src, packet.dst}];
+    ++link.delivered;
+    stats_.bytes_delivered += packet.payload.size();
+    link.bytes_delivered += packet.payload.size();
     // Each delivery runs in its own fiber in the destination's domain, so a
     // site crash kills in-progress message processing.  The wrapper keeps
     // the handler object alive for the fiber's lifetime (the coroutine frame
     // references the closure it was created from).
-    static constexpr auto invoke = [](std::shared_ptr<PacketHandler> handler,
-                                      Packet p) -> sim::Task<> { co_await (*handler)(std::move(p)); };
-    sched_.spawn(invoke(handler_it->second, std::move(packet)), ep.domain_);
+    static constexpr auto invoke = [](std::shared_ptr<PacketHandler> h,
+                                      Packet p) -> sim::Task<> { co_await (*h)(std::move(p)); };
+    sched_.spawn(invoke(std::move(handler), std::move(packet)), ep.domain());
   });
 }
 

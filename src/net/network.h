@@ -11,67 +11,33 @@
 // Crash modelling: `set_process_up(p, false)` makes the fabric drop all
 // traffic to and from p (a crashed site neither sends nor receives); the
 // Site layer additionally kills p's fibers and discards its volatile state.
+//
+// Crash-edge semantics (pinned by tests/net/crash_edge_test.cc):
+//  * packets in flight when set_process_up(p, false) fires are dropped at
+//    delivery time -- going down races ahead of the wire;
+//  * a handler replaced between send and delivery receives the packet in
+//    its *new* registration (demux happens at delivery, not at send), while
+//    a handler already executing runs to completion on the old closure;
+//  * detach() invalidates the Endpoint and drops in-flight packets on
+//    delivery; a subsequent attach() starts fresh (empty demux table).
+//
+// This fabric is normally driven through net::SimTransport; protocol layers
+// program against net::Transport and never name Network directly.
 #pragma once
 
-#include <functional>
 #include <map>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/buffer.h"
 #include "common/ids.h"
 #include "net/fault.h"
+#include "net/transport.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
 
 namespace ugrpc::net {
-
-/// A packet in flight: source, destination, demux key, opaque payload.
-struct Packet {
-  ProcessId src;
-  ProcessId dst;
-  ProtocolId proto;
-  Buffer payload;
-};
-
-/// Invoked (in a fresh fiber, in the destination's domain) for each
-/// delivered packet of the registered protocol.
-using PacketHandler = std::function<sim::Task<>(Packet)>;
-
-class Network;
-
-/// A process's attachment point.  Handlers are volatile: a crashing site
-/// clears them and re-registers on recovery.
-class Endpoint {
- public:
-  /// Registers the upcall for packets demuxed to `proto` (replacing any
-  /// previous handler).
-  void set_handler(ProtocolId proto, PacketHandler handler);
-  void clear_handler(ProtocolId proto);
-  void clear_all_handlers() { handlers_.clear(); }
-
-  void send(ProcessId dst, ProtocolId proto, Buffer payload);
-  /// Sends one copy to every member of `group` (including the sender if it
-  /// is a member), each copy independently subject to link faults.
-  void multicast(GroupId group, ProtocolId proto, Buffer payload);
-
-  [[nodiscard]] ProcessId process() const { return process_; }
-
- private:
-  friend class Network;
-  Endpoint(Network& net, ProcessId process, DomainId domain)
-      : net_(&net), process_(process), domain_(domain) {}
-
-  Network* net_;
-  ProcessId process_;
-  DomainId domain_;
-  // shared_ptr so an in-flight delivery fiber keeps the handler object (and
-  // thus the coroutine's implicit *this) alive even if the handler is
-  // replaced or cleared mid-flight.
-  std::unordered_map<ProtocolId, std::shared_ptr<PacketHandler>> handlers_;
-};
 
 class Network {
  public:
@@ -82,8 +48,13 @@ class Network {
 
   /// Attaches a process; `domain` is the scheduler domain its delivery
   /// fibers run in (killed when the site crashes).  The returned reference
-  /// stays valid for the lifetime of the Network.
+  /// stays valid until the process is detached (never, for the common case
+  /// of sites that crash via set_process_up but stay attached).
   Endpoint& attach(ProcessId process, DomainId domain);
+
+  /// Removes an attachment; in-flight packets to the process are dropped at
+  /// delivery time.  No-op for a process that is not attached.
+  void detach(ProcessId process);
 
   /// Faults applied to links without a per-link override.
   void set_default_faults(const FaultSpec& spec) { default_faults_ = spec; }
@@ -98,6 +69,7 @@ class Network {
   // ---- groups ----
   void define_group(GroupId group, std::vector<ProcessId> members);
   [[nodiscard]] const std::vector<ProcessId>& group_members(GroupId group) const;
+  [[nodiscard]] bool has_group(GroupId group) const { return groups_.contains(group); }
 
   // ---- observability ----
 
@@ -109,21 +81,51 @@ class Network {
   void set_packet_tracer(PacketTracer tracer) { tracer_ = std::move(tracer); }
 
   // ---- counters (for benches and tests) ----
-  struct Stats {
+
+  using Stats = net::Stats;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() {
+    stats_ = {};
+    link_stats_.clear();
+  }
+
+  /// Per-link (ordered from->to pair) counters.  `sent`/`dropped`/
+  /// `duplicated`/`bytes_sent` are stamped at transmission time,
+  /// `delivered`/`bytes_delivered` when the packet reaches a handler.
+  struct LinkStats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_delivered = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Counters of the from->to link; all-zero for a link never used.
+  [[nodiscard]] LinkStats link_stats(ProcessId from, ProcessId to) const;
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
 
  private:
-  friend class Endpoint;
+  /// The simulator's attachment point: send/multicast feed the fault
+  /// injection pipeline of the owning Network.
+  class SimEndpoint final : public Endpoint {
+   public:
+    SimEndpoint(Network& net, ProcessId process, DomainId domain)
+        : Endpoint(process, domain), net_(&net) {}
+
+    void send(ProcessId dst, ProtocolId proto, Buffer payload) override {
+      net_->transmit(process(), dst, proto, payload);
+    }
+    void multicast(GroupId group, ProtocolId proto, Buffer payload) override {
+      net_->multicast_from(process(), group, proto, payload);
+    }
+
+   private:
+    Network* net_;
+  };
 
   void transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buffer& payload);
+  void multicast_from(ProcessId from, GroupId group, ProtocolId proto, const Buffer& payload);
   void schedule_delivery(Packet packet, sim::Duration delay);
   [[nodiscard]] const FaultSpec& faults_for(ProcessId from, ProcessId to) const;
 
@@ -131,10 +133,11 @@ class Network {
   sim::Rng rng_;
   FaultSpec default_faults_;
   std::map<std::pair<ProcessId, ProcessId>, FaultSpec> link_faults_;
-  std::unordered_map<ProcessId, Endpoint> endpoints_;
+  std::unordered_map<ProcessId, SimEndpoint> endpoints_;
   std::unordered_map<ProcessId, bool> up_;
   std::unordered_map<GroupId, std::vector<ProcessId>> groups_;
   Stats stats_;
+  std::map<std::pair<ProcessId, ProcessId>, LinkStats> link_stats_;
   PacketTracer tracer_;
 };
 

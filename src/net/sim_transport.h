@@ -1,0 +1,74 @@
+// Transport backend over the deterministic simulated fabric.
+//
+// A thin forwarding layer: traffic goes to net::Network (fault injection,
+// demux, per-packet delivery fibers) and clock/timers/fibers go to the
+// Network's sim::Scheduler.  Every forward is a single direct call in the
+// same order the pre-Transport code made it, so schedules, RNG draws and
+// timer ids are bit-identical to driving Network/Scheduler directly --
+// the existing tests, benches and fault-injection experiments run unchanged.
+//
+// SimTransport holds references only; several SimTransports over one fabric
+// behave identically (all state lives in the Network and the Scheduler).
+#pragma once
+
+#include "net/network.h"
+#include "net/transport.h"
+
+namespace ugrpc::net {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Network& network) : net_(network), sched_(network.scheduler()) {}
+
+  // ---- attachment ----
+  Endpoint& attach(ProcessId process, DomainId domain) override {
+    return net_.attach(process, domain);
+  }
+  void detach(ProcessId process) override { net_.detach(process); }
+
+  // ---- groups ----
+  void define_group(GroupId group, std::vector<ProcessId> members) override {
+    net_.define_group(group, std::move(members));
+  }
+  [[nodiscard]] const std::vector<ProcessId>& group_members(GroupId group) const override {
+    return net_.group_members(group);
+  }
+  [[nodiscard]] bool has_group(GroupId group) const override { return net_.has_group(group); }
+
+  // ---- process-up control ----
+  [[nodiscard]] bool supports_process_control() const override { return true; }
+  void set_process_up(ProcessId process, bool up) override { net_.set_process_up(process, up); }
+  [[nodiscard]] bool process_up(ProcessId process) const override {
+    return net_.process_up(process);
+  }
+
+  // ---- clock + timers ----
+  [[nodiscard]] sim::Time now() const override { return sched_.now(); }
+  TimerId schedule_after(sim::Duration delay, std::function<void()> fn,
+                         DomainId domain = sim::kGlobalDomain) override {
+    return sched_.schedule_after(delay, std::move(fn), domain);
+  }
+  void cancel_timer(TimerId id) override { sched_.cancel_timer(id); }
+
+  // ---- threads of control ----
+  FiberId spawn(sim::Task<> task, DomainId domain = sim::kGlobalDomain) override {
+    return sched_.spawn(std::move(task), domain);
+  }
+  void kill_domain(DomainId domain) override { sched_.kill_domain(domain); }
+  [[nodiscard]] sim::Scheduler& executor() override { return sched_; }
+
+  // ---- observability ----
+  [[nodiscard]] const Stats& stats() const override { return net_.stats(); }
+  void reset_stats() override { net_.reset_stats(); }
+
+  /// The wrapped fabric, for sim-only knobs: fault injection, packet
+  /// tracing, per-link stats.  Experiment harnesses may use this; protocol
+  /// layers must not.
+  [[nodiscard]] Network& network() { return net_; }
+
+ private:
+  Network& net_;
+  sim::Scheduler& sched_;
+};
+
+}  // namespace ugrpc::net

@@ -1,0 +1,192 @@
+// The pluggable transport abstraction the µGRPC stack programs against.
+//
+// The paper's composite protocol is transport-agnostic: micro-protocols sit
+// on an x-kernel-style framework whose only contract with the layer below is
+// push (send/multicast) and pop (demultiplexed packet delivery).  Transport
+// captures that contract plus the ambient services every layer above needs:
+//
+//   * attach/detach       -- bind a process to the fabric, yielding an
+//                            Endpoint for traffic and demux registration;
+//   * groups              -- named member lists for sender-side multicast;
+//   * process-up control  -- crash modelling, where the backend supports it;
+//   * clock + timers      -- now()/schedule_after()/cancel_timer(), the only
+//                            way protocol layers may arm timers;
+//   * threads of control  -- spawn()/kill_domain(), one fiber per delivered
+//                            packet or timeout, killable per crashing site.
+//
+// Two implementations exist: SimTransport (sim_transport.h) wraps the
+// deterministic simulated fabric so tests, benches and fault-injection
+// experiments run unchanged, and UdpTransport (udp_transport.h) runs the
+// same stack over real non-blocking UDP sockets between OS processes.
+//
+// Both backends execute protocol code on a single-threaded cooperative
+// sim::Scheduler; executor() exposes it for the synchronization primitives
+// (sim::Semaphore, sim::Mutex) and fiber-level control (current_fiber, kill)
+// that are executor concerns rather than transport concerns.  Under
+// SimTransport the executor runs in virtual time; under UdpTransport its
+// clock is slaved to the host's monotonic clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/ids.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace ugrpc::net {
+
+/// A packet in flight: source, destination, demux key, opaque payload.
+struct Packet {
+  ProcessId src;
+  ProcessId dst;
+  ProtocolId proto;
+  Buffer payload;
+};
+
+/// Invoked (in a fresh fiber, in the destination's domain) for each
+/// delivered packet of the registered protocol.
+using PacketHandler = std::function<sim::Task<>(Packet)>;
+
+/// Fabric-wide counters, common to every backend.  Byte counts measure
+/// payload bytes (what the protocol layers handed to the transport), so sim
+/// and UDP numbers are directly comparable regardless of frame overhead.
+struct Stats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  /// Transmissions with no possible route: sends to a ProcessId that was
+  /// never attached (sim) / has no address-book entry (UDP), and multicasts
+  /// to an undefined GroupId.  These used to vanish silently; now they are
+  /// counted here and logged at warn level.
+  std::uint64_t unroutable = 0;
+};
+
+/// A process's attachment point on a Transport.  Owns the x-kernel demux
+/// table: handlers are volatile (a crashing site clears them and
+/// re-registers on recovery); send/multicast are backend-specific.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Registers the upcall for packets demuxed to `proto` (replacing any
+  /// previous handler).  Replacement takes effect for deliveries dispatched
+  /// afterwards; a handler already running keeps executing to completion.
+  void set_handler(ProtocolId proto, PacketHandler handler) {
+    handlers_[proto] = std::make_shared<PacketHandler>(std::move(handler));
+  }
+  void clear_handler(ProtocolId proto) { handlers_.erase(proto); }
+  void clear_all_handlers() { handlers_.clear(); }
+
+  /// The handler currently registered for `proto`, or nullptr.  Backends
+  /// dispatch through the returned shared_ptr so an in-flight delivery fiber
+  /// keeps the handler object (and thus the coroutine's implicit *this)
+  /// alive even if the handler is replaced or cleared mid-flight.
+  [[nodiscard]] std::shared_ptr<PacketHandler> handler(ProtocolId proto) const {
+    auto it = handlers_.find(proto);
+    return it != handlers_.end() ? it->second : nullptr;
+  }
+
+  virtual void send(ProcessId dst, ProtocolId proto, Buffer payload) = 0;
+  /// Sends one copy to every member of `group` (including the sender if it
+  /// is a member): sender-side fan-out on every backend, each copy
+  /// independently subject to link faults / datagram loss.
+  virtual void multicast(GroupId group, ProtocolId proto, Buffer payload) = 0;
+
+  [[nodiscard]] ProcessId process() const { return process_; }
+  [[nodiscard]] DomainId domain() const { return domain_; }
+
+ protected:
+  Endpoint(ProcessId process, DomainId domain) : process_(process), domain_(domain) {}
+
+ private:
+  std::unordered_map<ProtocolId, std::shared_ptr<PacketHandler>> handlers_;
+  ProcessId process_;
+  DomainId domain_;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // ---- attachment ----
+
+  /// Attaches a process; `domain` is the executor domain its delivery
+  /// fibers run in (killed when the site crashes).  The returned reference
+  /// stays valid until the process is detached.  Attaching an
+  /// already-attached process is a fatal error; attach after detach starts a
+  /// fresh attachment (empty demux table, next incarnation on backends that
+  /// tag frames).
+  virtual Endpoint& attach(ProcessId process, DomainId domain) = 0;
+
+  /// Removes the attachment; the Endpoint reference becomes invalid.
+  /// Packets in flight to a detached process are dropped on delivery.
+  virtual void detach(ProcessId process) = 0;
+
+  // ---- groups (sender-side multicast fan-out) ----
+
+  virtual void define_group(GroupId group, std::vector<ProcessId> members) = 0;
+  /// Members of a defined group; fatal on an undefined one (use has_group).
+  [[nodiscard]] virtual const std::vector<ProcessId>& group_members(GroupId group) const = 0;
+  [[nodiscard]] virtual bool has_group(GroupId group) const = 0;
+
+  // ---- process-up control (crash modelling, where supported) ----
+
+  /// True when the backend can take any process up/down fabric-wide (the
+  /// simulator).  UdpTransport controls only locally-attached processes;
+  /// remote processes crash for real.
+  [[nodiscard]] virtual bool supports_process_control() const = 0;
+  /// Marks a process up/down.  Down processes neither send nor receive.
+  virtual void set_process_up(ProcessId process, bool up) = 0;
+  [[nodiscard]] virtual bool process_up(ProcessId process) const = 0;
+
+  // ---- clock + timers ----
+
+  /// Current time: virtual under SimTransport, microseconds of real time
+  /// since transport construction under UdpTransport.
+  [[nodiscard]] virtual sim::Time now() const = 0;
+
+  /// Runs `fn` at now()+delay.  The callback executes inline in the driving
+  /// loop (it typically spawns a fiber or releases a semaphore); `domain`
+  /// ties the timer to a crashable site (cancelled by kill_domain).
+  virtual TimerId schedule_after(sim::Duration delay, std::function<void()> fn,
+                                 DomainId domain = sim::kGlobalDomain) = 0;
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  // ---- threads of control ----
+
+  /// Starts a new fiber running `task`, tagged with `domain`.
+  virtual FiberId spawn(sim::Task<> task, DomainId domain = sim::kGlobalDomain) = 0;
+  /// Kills every fiber of `domain` and cancels the domain's timers (both
+  /// the executor's and the transport's).  Models a site crash.
+  virtual void kill_domain(DomainId domain) = 0;
+
+  /// The cooperative executor protocol code runs on.  For synchronization
+  /// primitives (sim::Semaphore, sim::Mutex) and fiber-level introspection
+  /// (current_fiber, kill); traffic and timers must go through the
+  /// Transport interface, never through the executor directly.
+  [[nodiscard]] virtual sim::Scheduler& executor() = 0;
+
+  // ---- observability ----
+
+  [[nodiscard]] virtual const Stats& stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace ugrpc::net

@@ -1,0 +1,284 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+#include "net/wire.h"
+
+namespace ugrpc::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const int rc = ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  UGRPC_ASSERT(rc == 1 && "bind_host/peer host must be a numeric IPv4 address");
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport() : UdpTransport(Options{}) {}
+
+UdpTransport::UdpTransport(Options options)
+    : options_(std::move(options)), exec_(options_.seed), wheel_(options_.wheel_granularity),
+      start_(std::chrono::steady_clock::now()) {}
+
+UdpTransport::~UdpTransport() {
+  for (auto& [process, att] : attachments_) {
+    if (att.fd >= 0) ::close(att.fd);
+  }
+}
+
+sim::Time UdpTransport::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               start_)
+      .count();
+}
+
+Endpoint& UdpTransport::attach(ProcessId process, DomainId domain) {
+  UGRPC_ASSERT(!attachments_.contains(process) && "process already attached");
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  UGRPC_ASSERT(fd >= 0 && "socket() failed");
+  // Ephemeral port: parallel runs on one host cannot collide, and the
+  // example/CI publish the chosen port out of band.
+  sockaddr_in addr = make_addr(options_.bind_host, 0);
+  int rc = ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  UGRPC_ASSERT(rc == 0 && "bind() failed");
+  socklen_t len = sizeof(addr);
+  rc = ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  UGRPC_ASSERT(rc == 0 && "getsockname() failed");
+
+  Attachment att;
+  att.endpoint = std::make_unique<UdpEndpoint>(*this, process, domain);
+  att.fd = fd;
+  att.port = ntohs(addr.sin_port);
+  att.incarnation = ++attach_counts_[process];
+  auto [it, inserted] = attachments_.emplace(process, std::move(att));
+  peers_[process] = addr;  // local processes are reachable like any peer
+  UGRPC_LOG(kDebug, "udp: attach %u on %s:%u (incarnation %u)", process.value(),
+            options_.bind_host.c_str(), it->second.port, it->second.incarnation);
+  return *it->second.endpoint;
+}
+
+void UdpTransport::detach(ProcessId process) {
+  auto it = attachments_.find(process);
+  if (it == attachments_.end()) return;
+  ::close(it->second.fd);
+  peers_.erase(process);
+  attachments_.erase(it);
+}
+
+void UdpTransport::define_group(GroupId group, std::vector<ProcessId> members) {
+  groups_[group] = std::move(members);
+}
+
+const std::vector<ProcessId>& UdpTransport::group_members(GroupId group) const {
+  auto it = groups_.find(group);
+  UGRPC_ASSERT(it != groups_.end() && "unknown group");
+  return it->second;
+}
+
+bool UdpTransport::has_group(GroupId group) const { return groups_.contains(group); }
+
+void UdpTransport::set_process_up(ProcessId process, bool up) {
+  auto it = attachments_.find(process);
+  UGRPC_ASSERT(it != attachments_.end() &&
+               "UDP crash modelling reaches only locally attached processes");
+  it->second.up = up;
+}
+
+bool UdpTransport::process_up(ProcessId process) const {
+  auto it = attachments_.find(process);
+  // Remote peers cannot be introspected; assume up (the membership service
+  // is the authority on remote liveness).
+  return it == attachments_.end() ? true : it->second.up;
+}
+
+TimerId UdpTransport::schedule_after(sim::Duration delay, std::function<void()> fn,
+                                     DomainId domain) {
+  return wheel_.add(now() + std::max<sim::Duration>(delay, 0), std::move(fn), domain);
+}
+
+void UdpTransport::cancel_timer(TimerId id) { wheel_.cancel(id); }
+
+FiberId UdpTransport::spawn(sim::Task<> task, DomainId domain) {
+  return exec_.spawn(std::move(task), domain);
+}
+
+void UdpTransport::kill_domain(DomainId domain) {
+  exec_.kill_domain(domain);
+  wheel_.cancel_domain(domain);
+}
+
+void UdpTransport::add_peer(ProcessId peer, const std::string& host, std::uint16_t port) {
+  peers_[peer] = make_addr(host, port);
+}
+
+std::uint16_t UdpTransport::local_port(ProcessId process) const {
+  auto it = attachments_.find(process);
+  UGRPC_ASSERT(it != attachments_.end() && "process not attached");
+  return it->second.port;
+}
+
+void UdpTransport::send_from(ProcessId src, ProcessId dst, ProtocolId proto, Buffer payload) {
+  auto src_it = attachments_.find(src);
+  UGRPC_ASSERT(src_it != attachments_.end() && "sender must be locally attached");
+  auto dst_it = peers_.find(dst);
+  if (dst_it == peers_.end()) {
+    ++stats_.unroutable;
+    UGRPC_LOG(kWarn, "udp: unroutable %u->%u proto=%u (no address-book entry)", src.value(),
+              dst.value(), proto.value());
+    return;
+  }
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+  if (!src_it->second.up) {
+    ++stats_.dropped;
+    return;  // crashed senders produce nothing
+  }
+  WireFrame frame{src, dst, proto, src_it->second.incarnation, std::move(payload)};
+  const Buffer wire = frame.encode();
+  if (wire.size() > kMaxDatagram) {
+    ++stats_.dropped;
+    UGRPC_LOG(kWarn, "udp: frame %u->%u proto=%u exceeds %zu bytes, dropped", src.value(),
+              dst.value(), proto.value(), kMaxDatagram);
+    return;
+  }
+  const auto span = wire.bytes();
+  const ssize_t n =
+      ::sendto(src_it->second.fd, span.data(), span.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dst_it->second), sizeof(dst_it->second));
+  if (n < 0) {
+    // A full socket buffer or a vanished peer (ECONNREFUSED from a previous
+    // ICMP) is datagram loss; the reliable-communication layer retransmits.
+    ++stats_.dropped;
+    UGRPC_LOG(kDebug, "udp: sendto %u->%u failed: %s", src.value(), dst.value(),
+              std::strerror(errno));
+  }
+}
+
+void UdpTransport::multicast_from(ProcessId src, GroupId group, ProtocolId proto, Buffer payload) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    ++stats_.unroutable;
+    UGRPC_LOG(kWarn, "udp: unroutable multicast from %u to undefined group %u proto=%u",
+              src.value(), group.value(), proto.value());
+    return;
+  }
+  for (ProcessId member : it->second) {
+    send_from(src, member, proto, payload);  // Buffer copies are O(1) (COW)
+  }
+}
+
+void UdpTransport::dispatch_datagram(Attachment& att, std::span<const std::byte> datagram) {
+  std::optional<WireFrame> frame = WireFrame::decode(datagram);
+  if (!frame.has_value()) {
+    ++stats_.dropped;
+    UGRPC_LOG(kDebug, "udp: dropping malformed %zu-byte datagram", datagram.size());
+    return;
+  }
+  if (frame->dst != att.endpoint->process() || !att.up) {
+    ++stats_.dropped;
+    return;  // misdirected, or the local destination is "crashed"
+  }
+  // Drop frames from an older incarnation of the sender: they were queued
+  // before the sender restarted and must not leak into its new life.
+  std::uint32_t& newest = seen_incarnations_[frame->src];
+  if (frame->incarnation < newest) {
+    ++stats_.dropped;
+    UGRPC_LOG(kDebug, "udp: stale incarnation %u (< %u) from %u, dropped", frame->incarnation,
+              newest, frame->src.value());
+    return;
+  }
+  newest = frame->incarnation;
+  const std::shared_ptr<PacketHandler> handler = att.endpoint->handler(frame->proto);
+  if (handler == nullptr) {
+    ++stats_.dropped;
+    UGRPC_LOG(kDebug, "udp: no handler for proto=%u at %u", frame->proto.value(),
+              frame->dst.value());
+    return;
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += frame->payload.size();
+  // x-kernel demux: each delivery runs in a fresh fiber in the destination's
+  // domain; the wrapper keeps the handler alive for the fiber's lifetime.
+  static constexpr auto invoke = [](std::shared_ptr<PacketHandler> h, Packet p) -> sim::Task<> {
+    co_await (*h)(std::move(p));
+  };
+  Packet packet{frame->src, frame->dst, frame->proto, std::move(frame->payload)};
+  exec_.spawn(invoke(std::move(handler), std::move(packet)), att.endpoint->domain());
+}
+
+void UdpTransport::sync_executor() {
+  const sim::Time t = now();
+  wheel_.advance(t);
+  // Slave the executor's virtual clock to real time: due sleep_for timers
+  // fire, ready fibers drain, and the clock lands exactly at t.
+  exec_.run_until(t);
+}
+
+sim::Duration UdpTransport::poll_wait(sim::Duration max_wait) {
+  if (exec_.has_ready()) return 0;
+  const sim::Time t = now();
+  sim::Time deadline = t + std::max<sim::Duration>(max_wait, 0);
+  if (const auto d = wheel_.next_deadline()) deadline = std::min(deadline, *d);
+  if (const auto d = exec_.next_timer_deadline()) deadline = std::min(deadline, *d);
+  return std::max<sim::Duration>(deadline - t, 0);
+}
+
+void UdpTransport::poll_once(sim::Duration max_wait) {
+  sync_executor();
+
+  std::vector<pollfd> fds;
+  std::vector<ProcessId> owners;
+  fds.reserve(attachments_.size());
+  for (auto& [process, att] : attachments_) {
+    fds.push_back(pollfd{att.fd, POLLIN, 0});
+    owners.push_back(process);
+  }
+  const sim::Duration wait = poll_wait(max_wait);
+  const int timeout_ms = static_cast<int>(std::min<sim::Duration>((wait + 999) / 1000, 1000));
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready > 0) {
+    std::byte buf[kMaxDatagram + 1];
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      auto att_it = attachments_.find(owners[i]);
+      if (att_it == attachments_.end()) continue;  // detached by a callback
+      for (;;) {
+        const ssize_t n = ::recv(fds[i].fd, buf, sizeof(buf), 0);
+        if (n < 0) break;  // EWOULDBLOCK: socket drained
+        dispatch_datagram(att_it->second, std::span<const std::byte>(buf, static_cast<std::size_t>(n)));
+      }
+    }
+  }
+
+  sync_executor();
+}
+
+void UdpTransport::run_for(sim::Duration d) {
+  const sim::Time stop_at = now() + d;
+  while (now() < stop_at) poll_once(std::min(options_.max_poll_wait, stop_at - now()));
+}
+
+bool UdpTransport::run_until_fiber_done(FiberId fiber, sim::Duration timeout) {
+  const sim::Time stop_at = now() + timeout;
+  while (exec_.fiber_alive(fiber) && now() < stop_at) {
+    poll_once(std::min(options_.max_poll_wait, stop_at - now()));
+  }
+  return !exec_.fiber_alive(fiber);
+}
+
+}  // namespace ugrpc::net

@@ -1,0 +1,83 @@
+// Datagram framing for UdpTransport.
+//
+// One Packet per UDP datagram, framed as:
+//
+//   u32  magic        'uGRP' (0x75475250) -- rejects stray traffic
+//   u8   version      kWireVersion
+//   u32  src          sender ProcessId
+//   u32  dst          destination ProcessId
+//   u16  proto        demux key
+//   u32  incarnation  sender attachment incarnation; receivers drop frames
+//                     from an incarnation older than the newest they have
+//                     seen, so a restarted sender's stale datagrams (still
+//                     queued in kernel buffers) cannot be delivered as if
+//                     from the new incarnation
+//   raw  payload      length-prefixed opaque bytes
+//
+// Integers are little-endian (the Writer/Reader codec).  decode() is
+// defensive: any malformed input -- wrong magic, truncation, trailing
+// garbage -- yields nullopt rather than an exception or a partial frame,
+// because a UDP socket receives whatever the network hands it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/buffer.h"
+#include "common/ids.h"
+#include "net/transport.h"
+
+namespace ugrpc::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x75475250;  // "uGRP"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Frame header bytes before the length-prefixed payload.
+inline constexpr std::size_t kWireHeaderSize = 4 + 1 + 4 + 4 + 2 + 4;
+
+/// Largest datagram the transport sends or accepts.  Loopback MTU is ~64k;
+/// staying under it keeps sendto() from failing with EMSGSIZE.
+inline constexpr std::size_t kMaxDatagram = 60 * 1024;
+
+struct WireFrame {
+  ProcessId src;
+  ProcessId dst;
+  ProtocolId proto;
+  std::uint32_t incarnation = 0;
+  Buffer payload;
+
+  [[nodiscard]] Buffer encode() const {
+    Buffer out;
+    out.reserve(kWireHeaderSize + 4 + payload.size());
+    Writer w(out);
+    w.u32(kWireMagic);
+    w.u8(kWireVersion);
+    w.u32(src.value());
+    w.u32(dst.value());
+    w.u16(proto.value());
+    w.u32(incarnation);
+    w.raw(payload.bytes());
+    return out;
+  }
+
+  [[nodiscard]] static std::optional<WireFrame> decode(std::span<const std::byte> data) {
+    try {
+      Reader r(data);
+      if (r.u32() != kWireMagic) return std::nullopt;
+      if (r.u8() != kWireVersion) return std::nullopt;
+      WireFrame frame;
+      frame.src = ProcessId{r.u32()};
+      frame.dst = ProcessId{r.u32()};
+      frame.proto = ProtocolId{r.u16()};
+      frame.incarnation = r.u32();
+      frame.payload = r.raw();
+      if (!r.at_end()) return std::nullopt;  // trailing garbage
+      return frame;
+    } catch (const CodecError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+}  // namespace ugrpc::net

@@ -14,15 +14,15 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "net/transport.h"
 #include "runtime/framework.h"
 #include "runtime/micro_protocol.h"
-#include "sim/scheduler.h"
 
 namespace ugrpc::runtime {
 
 class CompositeProtocol {
  public:
-  CompositeProtocol(sim::Scheduler& sched, DomainId domain) : framework_(sched, domain) {}
+  CompositeProtocol(net::Transport& transport, DomainId domain) : framework_(transport, domain) {}
   virtual ~CompositeProtocol() = default;
 
   CompositeProtocol(const CompositeProtocol&) = delete;

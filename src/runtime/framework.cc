@@ -9,12 +9,13 @@
 
 namespace ugrpc::runtime {
 
-Framework::Framework(sim::Scheduler& sched, DomainId domain) : sched_(sched), domain_(domain) {}
+Framework::Framework(net::Transport& transport, DomainId domain)
+    : transport_(transport), domain_(domain) {}
 
 Framework::~Framework() {
   // A destroyed framework (crashed site) must not leave timers behind: their
   // callbacks capture `this`.
-  for (TimerId id : live_timeouts_) sched_.cancel_timer(id);
+  for (TimerId id : live_timeouts_) transport_.cancel_timer(id);
 }
 
 void Framework::define_event(EventId event, std::string name) {
@@ -78,7 +79,7 @@ sim::Task<bool> Framework::trigger(EventId event, EventArg arg) {
   EventContext ctx(arg);
   for (const RegistrationPtr& reg : *chain) {
     if (!by_id_.contains(reg->id)) continue;  // deregistered mid-event
-    if (trace_) trace_(sched_.now(), event_name(event), reg->name);
+    if (trace_) trace_(transport_.now(), event_name(event), reg->name);
     co_await reg->fn(ctx);
     if (ctx.cancelled()) co_return false;
   }
@@ -97,8 +98,9 @@ TimerId Framework::register_timeout(std::string name, sim::Duration delay, Timeo
   static constexpr auto invoke = [](std::shared_ptr<TimeoutHandler> f) -> sim::Task<> {
     co_await (*f)();
   };
-  const TimerId id = sched_.schedule_after(
-      delay, [this, shared_fn, name = std::move(name)]() { sched_.spawn(invoke(shared_fn), domain_); },
+  const TimerId id = transport_.schedule_after(
+      delay,
+      [this, shared_fn, name = std::move(name)]() { transport_.spawn(invoke(shared_fn), domain_); },
       domain_);
   // Fired timers linger in this set until cancel/destruction; cancelling an
   // already-fired timer is a harmless no-op and ids are never reused.
@@ -107,7 +109,7 @@ TimerId Framework::register_timeout(std::string name, sim::Duration delay, Timeo
 }
 
 void Framework::cancel_timeout(TimerId id) {
-  sched_.cancel_timer(id);
+  transport_.cancel_timer(id);
   live_timeouts_.erase(id);
 }
 

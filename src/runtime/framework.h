@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "net/transport.h"
 #include "runtime/event.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
@@ -60,7 +61,11 @@ using TimeoutHandler = std::function<sim::Task<>()>;
 
 class Framework {
  public:
-  Framework(sim::Scheduler& sched, DomainId domain);
+  /// Timers registered through the framework (TIMEOUT handlers) and the
+  /// fibers they run in come from `transport`'s clock/timer/spawn hooks, so
+  /// one framework implementation serves both the simulated and the real
+  /// (UDP) backend.
+  Framework(net::Transport& transport, DomainId domain);
   ~Framework();
 
   Framework(const Framework&) = delete;
@@ -92,7 +97,8 @@ class Framework {
   TimerId register_timeout(std::string name, sim::Duration delay, TimeoutHandler fn);
   void cancel_timeout(TimerId id);
 
-  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] net::Transport& transport() { return transport_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return transport_.executor(); }
   [[nodiscard]] DomainId domain() const { return domain_; }
 
   // ---- observability ----
@@ -145,7 +151,7 @@ class Framework {
 
   [[nodiscard]] const std::shared_ptr<const Chain>& chain_for(EventId event);
 
-  sim::Scheduler& sched_;
+  net::Transport& transport_;
   DomainId domain_;
   std::unordered_map<EventId, EventTable> events_;
   std::unordered_map<HandlerId, EventId> by_id_;

@@ -70,6 +70,15 @@ void Scheduler::cancel_timer(TimerId id) {
   timers_.erase(id);  // heap entry is skipped lazily when popped
 }
 
+std::optional<Time> Scheduler::next_timer_deadline() {
+  while (!timer_heap_.empty()) {
+    const TimerEntry& entry = timer_heap_.top();
+    if (timers_.contains(entry.id)) return entry.deadline;
+    timer_heap_.pop();  // cancelled
+  }
+  return std::nullopt;
+}
+
 bool Scheduler::fire_due_timer() {
   while (!timer_heap_.empty()) {
     const TimerEntry entry = timer_heap_.top();

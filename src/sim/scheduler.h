@@ -17,6 +17,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -85,6 +86,14 @@ class Scheduler {
 
   /// Cancels a pending timer; no-op if it already fired or was cancelled.
   void cancel_timer(TimerId id);
+
+  /// Deadline of the earliest live timer, or no value when none is pending.
+  /// Lazily discards cancelled heap entries, hence non-const.  Real-time
+  /// drivers (net::UdpTransport) use this to size their poll timeout.
+  [[nodiscard]] std::optional<Time> next_timer_deadline();
+
+  /// True when a fiber is ready to run without advancing the clock.
+  [[nodiscard]] bool has_ready() const { return !ready_.empty(); }
 
   // ---- running ----
 

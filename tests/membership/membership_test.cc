@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "net/sim_transport.h"
+
 namespace ugrpc::membership {
 namespace {
 
@@ -17,6 +19,7 @@ struct ChangeEvent {
 struct Cluster {
   sim::Scheduler sched{7};
   net::Network net{sched};
+  net::SimTransport transport{net};
   std::vector<ProcessId> procs;
   std::vector<net::Endpoint*> endpoints;
   std::vector<std::unique_ptr<MembershipMonitor>> monitors;
@@ -27,7 +30,7 @@ struct Cluster {
     for (ProcessId pid : procs) {
       endpoints.push_back(&net.attach(pid, DomainId{pid.value()}));
       monitors.push_back(
-          std::make_unique<MembershipMonitor>(net, *endpoints.back(), procs, params, true));
+          std::make_unique<MembershipMonitor>(transport, *endpoints.back(), procs, params, true));
     }
     for (auto& m : monitors) m->start();
   }
@@ -44,8 +47,8 @@ struct Cluster {
     const ProcessId pid = procs[static_cast<std::size_t>(index)];
     net.set_process_up(pid, true);
     auto& slot = monitors[static_cast<std::size_t>(index)];
-    slot = std::make_unique<MembershipMonitor>(net, *endpoints[static_cast<std::size_t>(index)],
-                                               procs, params, true);
+    slot = std::make_unique<MembershipMonitor>(
+        transport, *endpoints[static_cast<std::size_t>(index)], procs, params, true);
     slot->start();
   }
 };
@@ -127,11 +130,12 @@ TEST(Membership, NoFalsePositivesOnModeratelyLossyNetwork) {
 TEST(Membership, MonitorWithoutBeatingStillObserves) {
   sim::Scheduler sched{7};
   net::Network net{sched};
+  net::SimTransport transport{net};
   std::vector<ProcessId> procs{ProcessId{1}, ProcessId{2}};
   net::Endpoint& observer_ep = net.attach(ProcessId{1}, DomainId{1});
   net::Endpoint& server_ep = net.attach(ProcessId{2}, DomainId{2});
-  MembershipMonitor observer(net, observer_ep, procs, {}, /*beat=*/false);
-  MembershipMonitor server(net, server_ep, procs, {}, /*beat=*/true);
+  MembershipMonitor observer(transport, observer_ep, procs, {}, /*beat=*/false);
+  MembershipMonitor server(transport, server_ep, procs, {}, /*beat=*/true);
   observer.start();
   server.start();
   sched.run_until(sim::msec(300));

@@ -1,0 +1,151 @@
+// TimerWheel unit tests: firing order, O(1) cancellation semantics
+// (including cancel-from-inside-a-callback), per-domain cancellation, and
+// the next_deadline() hint the UDP poll loop sizes its timeout with.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/timer_wheel.h"
+#include "sim/scheduler.h"
+
+namespace ugrpc::net {
+namespace {
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.add(sim::msec(30), [&] { fired.push_back(3); }, sim::kGlobalDomain);
+  wheel.add(sim::msec(10), [&] { fired.push_back(1); }, sim::kGlobalDomain);
+  wheel.add(sim::msec(20), [&] { fired.push_back(2); }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(100));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, SameDeadlineFiresInRegistrationOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    wheel.add(sim::msec(5), [&fired, i] { fired.push_back(i); }, sim::kGlobalDomain);
+  }
+  wheel.advance(sim::msec(10));
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, DoesNotFireBeforeDeadline) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.add(sim::msec(50), [&] { ++fired; }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(49));
+  EXPECT_EQ(fired, 0);
+  wheel.advance(sim::msec(50));
+  EXPECT_EQ(fired, 1);
+  wheel.advance(sim::msec(200));  // no double-fire
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const TimerId id = wheel.add(sim::msec(10), [&] { ++fired; }, sim::kGlobalDomain);
+  wheel.cancel(id);
+  wheel.advance(sim::msec(100));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, CancelAfterFireIsNoop) {
+  TimerWheel wheel;
+  const TimerId id = wheel.add(sim::msec(1), [] {}, sim::kGlobalDomain);
+  wheel.advance(sim::msec(10));
+  wheel.cancel(id);  // must not crash or cancel anything else
+  int fired = 0;
+  wheel.add(sim::msec(20), [&] { ++fired; }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(30));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CancelDomainCancelsOnlyThatDomain) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.add(sim::msec(10), [&] { fired.push_back(1); }, DomainId{1});
+  wheel.add(sim::msec(11), [&] { fired.push_back(2); }, DomainId{2});
+  wheel.add(sim::msec(12), [&] { fired.push_back(1); }, DomainId{1});
+  wheel.cancel_domain(DomainId{1});
+  wheel.advance(sim::msec(100));
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(TimerWheel, CancelFromInsideCallbackStopsSameBatchEntry) {
+  TimerWheel wheel;
+  int second_fired = 0;
+  TimerId second{};
+  // Both timers are due in the same advance() batch; the first cancels the
+  // second before the batch reaches it.
+  wheel.add(sim::msec(5), [&] { wheel.cancel(second); }, sim::kGlobalDomain);
+  second = wheel.add(sim::msec(6), [&] { ++second_fired; }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(50));
+  EXPECT_EQ(second_fired, 0);
+}
+
+TEST(TimerWheel, CallbackCanArmNewTimer) {
+  TimerWheel wheel;
+  int chained = 0;
+  wheel.add(sim::msec(5), [&] {
+    wheel.add(sim::msec(100), [&] { ++chained; }, sim::kGlobalDomain);
+  }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(10));
+  EXPECT_EQ(chained, 0) << "rearmed timer must wait for its own deadline";
+  wheel.advance(sim::msec(200));
+  EXPECT_EQ(chained, 1);
+}
+
+TEST(TimerWheel, NextDeadlineReportsEarliestPending) {
+  TimerWheel wheel;
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  wheel.add(sim::msec(30), [] {}, sim::kGlobalDomain);
+  const TimerId early = wheel.add(sim::msec(10), [] {}, sim::kGlobalDomain);
+  ASSERT_TRUE(wheel.next_deadline().has_value());
+  EXPECT_EQ(*wheel.next_deadline(), sim::msec(10));
+  wheel.cancel(early);
+  EXPECT_EQ(*wheel.next_deadline(), sim::msec(30));
+  wheel.advance(sim::msec(100));
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel;
+  wheel.advance(sim::msec(50));
+  int fired = 0;
+  wheel.add(sim::msec(10), [&] { ++fired; }, sim::kGlobalDomain);  // already past
+  wheel.advance(sim::msec(51));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, DeadlinesBeyondOneRotationStillFire) {
+  // kSlots * granularity = 256ms with default 1ms ticks; a deadline several
+  // rotations out hashes to an already-visited slot and must not fire early.
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.add(sim::msec(700), [&] { ++fired; }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(300));
+  EXPECT_EQ(fired, 0);
+  wheel.advance(sim::msec(699));
+  EXPECT_EQ(fired, 0);
+  wheel.advance(sim::msec(700));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, ManyTimersAcrossSlots) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  for (int i = 0; i < 1000; ++i) {
+    wheel.add(sim::msec(i + 1), [&fired, i] { fired.push_back(i); }, sim::kGlobalDomain);
+  }
+  wheel.advance(sim::msec(2000));
+  ASSERT_EQ(fired.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace ugrpc::net

@@ -1,0 +1,97 @@
+// UDP datagram framing: round-trip fidelity and defensive decoding.  A UDP
+// socket receives whatever the network hands it, so decode() must map every
+// malformed input to nullopt -- never an exception, crash, or partial frame.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/wire.h"
+
+namespace ugrpc::net {
+namespace {
+
+Buffer make_payload(std::initializer_list<std::uint8_t> bytes) {
+  Buffer b;
+  Writer w(b);
+  for (std::uint8_t x : bytes) w.u8(x);
+  return b;
+}
+
+WireFrame sample_frame() {
+  WireFrame f;
+  f.src = ProcessId{3};
+  f.dst = ProcessId{7};
+  f.proto = ProtocolId{42};
+  f.incarnation = 5;
+  f.payload = make_payload({0xde, 0xad, 0xbe, 0xef});
+  return f;
+}
+
+TEST(UdpWire, RoundTripPreservesAllFields) {
+  const Buffer encoded = sample_frame().encode();
+  const auto decoded = WireFrame::decode(encoded.bytes());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src, ProcessId{3});
+  EXPECT_EQ(decoded->dst, ProcessId{7});
+  EXPECT_EQ(decoded->proto, ProtocolId{42});
+  EXPECT_EQ(decoded->incarnation, 5u);
+  ASSERT_EQ(decoded->payload.size(), 4u);
+  Reader r(decoded->payload);
+  EXPECT_EQ(r.u8(), 0xde);
+  EXPECT_EQ(r.u8(), 0xad);
+  EXPECT_EQ(r.u8(), 0xbe);
+  EXPECT_EQ(r.u8(), 0xef);
+}
+
+TEST(UdpWire, EmptyPayloadRoundTrips) {
+  WireFrame f = sample_frame();
+  f.payload = Buffer{};
+  const auto decoded = WireFrame::decode(f.encode().bytes());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload.size(), 0u);
+}
+
+TEST(UdpWire, EncodedSizeMatchesHeaderConstant) {
+  // kWireHeaderSize + payload length prefix (u32) + payload bytes.
+  const WireFrame f = sample_frame();
+  EXPECT_EQ(f.encode().size(), kWireHeaderSize + 4 + f.payload.size());
+}
+
+std::vector<std::byte> bytes_of(const Buffer& b) {
+  const auto view = b.bytes();
+  return {view.begin(), view.end()};
+}
+
+TEST(UdpWire, WrongMagicRejected) {
+  std::vector<std::byte> raw = bytes_of(sample_frame().encode());
+  raw[0] ^= std::byte{0xff};
+  EXPECT_FALSE(WireFrame::decode(raw).has_value());
+}
+
+TEST(UdpWire, WrongVersionRejected) {
+  std::vector<std::byte> raw = bytes_of(sample_frame().encode());
+  raw[4] = std::byte{static_cast<unsigned char>(kWireVersion + 1)};
+  EXPECT_FALSE(WireFrame::decode(raw).has_value());
+}
+
+TEST(UdpWire, EveryTruncationRejected) {
+  const Buffer encoded = sample_frame().encode();
+  const std::span<const std::byte> full = encoded.bytes();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(WireFrame::decode(full.subspan(0, len)).has_value())
+        << "truncation to " << len << " bytes must not decode";
+  }
+}
+
+TEST(UdpWire, TrailingGarbageRejected) {
+  Buffer encoded = sample_frame().encode();
+  Writer(encoded).u8(0x00);  // one stray byte after a valid frame
+  EXPECT_FALSE(WireFrame::decode(encoded.bytes()).has_value());
+}
+
+TEST(UdpWire, EmptyInputRejected) {
+  EXPECT_FALSE(WireFrame::decode({}).has_value());
+}
+
+}  // namespace
+}  // namespace ugrpc::net

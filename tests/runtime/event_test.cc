@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "net/network.h"
+#include "net/sim_transport.h"
 #include "runtime/framework.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
@@ -51,7 +53,9 @@ constexpr EventId kEv{9};
 
 TEST(Framework, TriggerWithNoHandlersCompletes) {
   sim::Scheduler sched;
-  Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw(transport, DomainId{1});
   bool completed = false;
   sched.spawn([](Framework& f, bool& done) -> sim::Task<> {
     done = co_await f.trigger(kEv, {});
@@ -62,7 +66,9 @@ TEST(Framework, TriggerWithNoHandlersCompletes) {
 
 TEST(Framework, DeregisterByNameOnlyRemovesMatchingEvent) {
   sim::Scheduler sched;
-  Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw(transport, DomainId{1});
   constexpr EventId kOther{10};
   fw.register_handler(kEv, "shared-name", 1, [](EventContext&) -> sim::Task<> { co_return; });
   fw.register_handler(kOther, "shared-name", 1, [](EventContext&) -> sim::Task<> { co_return; });
@@ -73,7 +79,9 @@ TEST(Framework, DeregisterByNameOnlyRemovesMatchingEvent) {
 
 TEST(Framework, DeregisterUnknownIdIsNoOp) {
   sim::Scheduler sched;
-  Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw(transport, DomainId{1});
   fw.deregister(HandlerId{424242});
   fw.deregister(kEv, "no-such-handler");
   SUCCEED();
@@ -81,7 +89,9 @@ TEST(Framework, DeregisterUnknownIdIsNoOp) {
 
 TEST(Framework, HandlerMayDeregisterItselfDuringEvent) {
   sim::Scheduler sched;
-  Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw(transport, DomainId{1});
   int runs = 0;
   HandlerId self{};
   self = fw.register_handler(kEv, "once", 1, [&](EventContext&) -> sim::Task<> {
@@ -98,7 +108,9 @@ TEST(Framework, HandlerMayDeregisterItselfDuringEvent) {
 
 TEST(Framework, ManyTimeoutsFireInDelayOrder) {
   sim::Scheduler sched;
-  Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw(transport, DomainId{1});
   std::string order;
   fw.register_timeout("c", sim::msec(30), [&]() -> sim::Task<> {
     order += 'c';
@@ -118,7 +130,9 @@ TEST(Framework, ManyTimeoutsFireInDelayOrder) {
 
 TEST(Framework, TimeoutHandlerMayBlock) {
   sim::Scheduler sched;
-  Framework fw(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw(transport, DomainId{1});
   sim::Semaphore gate(sched, 0);
   bool finished = false;
   fw.register_timeout("blocking", sim::msec(1), [&]() -> sim::Task<> {

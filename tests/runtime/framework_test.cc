@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "net/network.h"
+#include "net/sim_transport.h"
 #include "runtime/composite.h"
 #include "runtime/micro_protocol.h"
 #include "sim/sync.h"
@@ -19,7 +21,9 @@ constexpr EventId kOther{2};
 
 struct Fixture {
   sim::Scheduler sched;
-  Framework fw{sched, DomainId{1}};
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  Framework fw{transport, DomainId{1}};
 };
 
 Handler appender(std::vector<int>& out, int tag) {
@@ -244,9 +248,11 @@ TEST(Framework, CancelledTimeoutNeverFires) {
 
 TEST(Framework, DestructionCancelsPendingTimeouts) {
   sim::Scheduler sched;
+  net::Network net{sched};
+  net::SimTransport transport{net};
   int fired = 0;
   {
-    Framework fw(sched, DomainId{1});
+    Framework fw(transport, DomainId{1});
     fw.register_timeout("tick", sim::msec(10), [&]() -> sim::Task<> {
       ++fired;
       co_return;
@@ -313,7 +319,9 @@ class CountingMp : public MicroProtocol {
 
 TEST(CompositeProtocol, StartStartsAllMicroProtocolsInOrder) {
   sim::Scheduler sched;
-  CompositeProtocol comp(sched, DomainId{1});
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  CompositeProtocol comp(transport, DomainId{1});
   std::vector<std::string> started;
   comp.emplace<CountingMp>(started);
   comp.emplace<CountingMp>(started);
