@@ -4,8 +4,18 @@
 // vary the seed), and prints the seed it used into its output -- a number
 // in a results file that cannot be traced back to a seed is not evidence.
 // Benches with a JSON artifact also take `--out PATH`.
+//
+// Numeric options are parsed with checked strtol/strtoull rather than atoi:
+// atoi returns 0 for garbage ("--calls abc" silently ran zero calls) and
+// accepts negatives that later index arrays.  A malformed value is a usage
+// error, not a silent zero.  try_parse_args() is the non-exiting core that
+// the unit tests drive; parse_args() wraps it with the print-and-exit
+// behaviour the binaries want.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -19,32 +29,89 @@ struct Args {
   std::string out;
 };
 
-/// Parses `--seed N`, `--calls N`, `--out PATH`; exits with usage on
-/// anything else.  Pass each option's default.
-inline Args parse_args(int argc, char** argv, std::uint64_t default_seed, int default_calls = 0,
-                       std::string default_out = {}) {
-  Args args{default_seed, default_calls, std::move(default_out)};
+/// Parses a full unsigned decimal string.  Rejects empty strings, signs,
+/// whitespace, trailing garbage and out-of-range values.
+inline bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || !std::isdigit(static_cast<unsigned char>(*s))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Parses a non-negative count that fits in int.
+inline bool parse_count(const char* s, int& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > static_cast<std::uint64_t>(INT_MAX)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+struct ParseResult {
+  Args args;
+  bool ok = true;
+  std::string error;  ///< one-line diagnostic when !ok
+};
+
+/// Non-exiting parse of `--seed N`, `--calls N`, `--out PATH`.
+inline ParseResult try_parse_args(int argc, const char* const* argv, std::uint64_t default_seed,
+                                  int default_calls = 0, std::string default_out = {}) {
+  ParseResult result;
+  result.args = Args{default_seed, default_calls, std::move(default_out)};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], arg.c_str());
-        std::exit(2);
+        result.ok = false;
+        result.error = "missing value for " + arg;
+        return nullptr;
       }
       return argv[++i];
     };
     if (arg == "--seed") {
-      args.seed = std::strtoull(next(), nullptr, 10);
+      const char* v = next();
+      if (v == nullptr) return result;
+      if (!parse_u64(v, result.args.seed)) {
+        result.ok = false;
+        result.error = "invalid value for --seed: '" + std::string(v) +
+                       "' (expected a non-negative integer)";
+        return result;
+      }
     } else if (arg == "--calls") {
-      args.calls = std::atoi(next());
+      const char* v = next();
+      if (v == nullptr) return result;
+      if (!parse_count(v, result.args.calls)) {
+        result.ok = false;
+        result.error = "invalid value for --calls: '" + std::string(v) +
+                       "' (expected a non-negative integer)";
+        return result;
+      }
     } else if (arg == "--out") {
-      args.out = next();
+      const char* v = next();
+      if (v == nullptr) return result;
+      result.args.out = v;
     } else {
-      std::fprintf(stderr, "usage: %s [--seed N] [--calls N] [--out PATH]\n", argv[0]);
-      std::exit(2);
+      result.ok = false;
+      result.error = "unknown argument " + arg;
+      return result;
     }
   }
-  return args;
+  return result;
+}
+
+/// Parses or exits with a usage message (what the bench binaries call).
+inline Args parse_args(int argc, char** argv, std::uint64_t default_seed, int default_calls = 0,
+                       std::string default_out = {}) {
+  ParseResult result =
+      try_parse_args(argc, argv, default_seed, default_calls, std::move(default_out));
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: %s\nusage: %s [--seed N] [--calls N] [--out PATH]\n", argv[0],
+                 result.error.c_str(), argv[0]);
+    std::exit(2);
+  }
+  return result.args;
 }
 
 }  // namespace ugrpc::bench

@@ -25,16 +25,23 @@ DomainId domain_of(ProcessId p) { return DomainId{p.value()}; }
 
 GrpcComposite::GrpcComposite(net::Transport& transport, net::Endpoint& endpoint, ProcessId my_id,
                              storage::StableStore& stable, UserProtocol& user,
-                             const Config& config, std::set<ProcessId> known)
+                             const Config& config, std::set<ProcessId> known,
+                             obs::SiteTrace* trace)
     : runtime::CompositeProtocol(transport, domain_of(my_id)), config_(config),
       state_(transport, endpoint, my_id), endpoint_(endpoint), stable_(stable) {
   UGRPC_ASSERT((config_.unsafe_skip_validation || is_valid(config_)) &&
                "configuration violates the dependency graph");
   state_.user = &user;
   state_.members = std::move(known);
+  state_.trace = trace;
+  framework().set_site_trace(trace);
   define_grpc_events(framework());
   assemble();
   start();
+  // The baseline checkpoint must see the full checkpoint-participant list,
+  // which ordering protocols only join in their start() -- after Atomic
+  // Execution's (assembly order).
+  if (atomic_ != nullptr) atomic_->ensure_baseline();
   // UPI "demux from below": decode and run the MSG_FROM_NETWORK chain.  The
   // network spawns one fiber per delivered packet in this site's domain.
   endpoint_.set_handler(kGrpcProto, [this](net::Packet pkt) -> sim::Task<> {

@@ -33,9 +33,11 @@ class GrpcComposite : public runtime::CompositeProtocol {
   /// hooks).  `known` initializes the live-member set (without a membership
   /// service it stays constant, per the paper).  The caller must have
   /// validated the config (asserted here).
+  /// `trace` (optional) is this site's obs ring: the framework and every
+  /// micro-protocol record into it; nullptr leaves tracing off.
   GrpcComposite(net::Transport& transport, net::Endpoint& endpoint, ProcessId my_id,
                 storage::StableStore& stable, UserProtocol& user, const Config& config,
-                std::set<ProcessId> known);
+                std::set<ProcessId> known, obs::SiteTrace* trace = nullptr);
 
   /// Entry point from the user protocol (UPI push): runs the
   /// CALL_FROM_USER event chain in the calling fiber.  With Synchronous Call

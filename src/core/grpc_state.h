@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 
@@ -183,6 +184,15 @@ struct GrpcState {
 
   /// The user protocol above gRPC (server procedure entry point).
   UserProtocol* user = nullptr;
+
+  /// This site's trace ring (obs layer); nullptr = tracing off.  All
+  /// micro-protocols record through note() so every record site stays a
+  /// single pointer check.
+  obs::SiteTrace* trace = nullptr;
+
+  void note(obs::Kind kind, std::uint64_t call = 0, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (trace) trace->record(transport.now(), kind, call, a, b);
+  }
 
   /// Reply acknowledgements queued per destination instead of sent
   /// immediately: Unique Execution's coalesced flush timer drains each

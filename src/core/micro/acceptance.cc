@@ -36,6 +36,8 @@ void Acceptance::complete(ClientRecord& rec) {
   // (deviation from the paper's unconditional V; see DESIGN.md).
   if (rec.status == Status::kWaiting) {
     rec.status = Status::kOk;
+    state_.note(obs::Kind::kCallCompleted, rec.id.value(),
+                static_cast<std::uint64_t>(Status::kOk));
     rec.sem.release();
   }
 }

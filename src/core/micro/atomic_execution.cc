@@ -11,6 +11,9 @@ void AtomicExecution::start(runtime::Framework& fw) {
                       [this](runtime::EventContext& ctx) { return handle_reply(ctx); });
   fw.register_handler(kRecovery, "AtomicExec.handle_recovery",
                       [this](runtime::EventContext& ctx) { return handle_recovery(ctx); });
+}
+
+void AtomicExecution::ensure_baseline() {
   // Baseline checkpoint at first boot: a crash during the very first call
   // must be able to roll back to the initial state.  (The paper's
   // pseudocode only checkpoints after replies, leaving the first call
@@ -60,6 +63,7 @@ sim::Task<> AtomicExecution::handle_reply(runtime::EventContext&) {
   store_.set_var(kCurrentVar, addr.value());
   if (previous.has_value()) store_.release_checkpoint(storage::StableAddress{*previous});
   ++checkpoints_taken_;
+  state_.note(obs::Kind::kCheckpoint, 0, addr.value());
 }
 
 sim::Task<> AtomicExecution::handle_recovery(runtime::EventContext&) {
@@ -68,6 +72,7 @@ sim::Task<> AtomicExecution::handle_recovery(runtime::EventContext&) {
   const auto snapshot = store_.load_checkpoint(storage::StableAddress{*current});
   UGRPC_ASSERT(snapshot.has_value() && "stable variable points at a missing checkpoint");
   restore_snapshot(*snapshot);
+  state_.note(obs::Kind::kStateRestored, 0, *current);
   UGRPC_LOG(kDebug, "atomic@%u: restored checkpoint %llu", state_.my_id.value(),
             static_cast<unsigned long long>(*current));
 }

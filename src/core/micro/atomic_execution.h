@@ -32,6 +32,15 @@ class AtomicExecution : public runtime::MicroProtocol {
 
   void start(runtime::Framework& fw) override;
 
+  /// Writes the first-boot baseline checkpoint (no-op on recovery, when the
+  /// stable variable already points at one).  Must run after EVERY
+  /// micro-protocol's start(): ordering protocols assembled after Atomic
+  /// Execution register as checkpoint participants in their start(), and a
+  /// baseline taken before they did would restore with a participant-count
+  /// mismatch after an early crash.  GrpcComposite calls this once the whole
+  /// stack is up.
+  void ensure_baseline();
+
   [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 
  private:

@@ -40,6 +40,9 @@ sim::Task<> BoundedTermination::drain_expired() {
     if (rec != nullptr && rec->status == Status::kWaiting) {
       rec->status = Status::kTimeout;
       ++timeouts_fired_;
+      state_.note(obs::Kind::kDeadlineExpired, id.value());
+      state_.note(obs::Kind::kCallCompleted, id.value(),
+                  static_cast<std::uint64_t>(Status::kTimeout));
       rec->sem.release();
     }
   }

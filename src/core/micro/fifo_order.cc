@@ -57,6 +57,7 @@ sim::Task<> FifoOrder::msg_from_net(runtime::EventContext& ctx) {
     if (info.inc > msg.inc || (info.inc == msg.inc && msg.id < info.next)) {
       // Stale: an orphaned incarnation or an id already executed here.
       ++stale_dropped_;
+      state_.note(obs::Kind::kStaleDropped, msg.id.value());
       ctx.cancel();
       auto srec = state_.sRPC.find(msg.id);
       if (srec != state_.sRPC.end()) state_.sRPC.erase(srec);
@@ -69,6 +70,8 @@ sim::Task<> FifoOrder::msg_from_net(runtime::EventContext& ctx) {
   }
   if (msg.id == info.next) {
     co_await state_.forward_up(msg.id, kHoldFifo);
+  } else {
+    state_.note(obs::Kind::kCallHeld, msg.id.value(), kHoldFifo);
   }
 }
 
@@ -77,6 +80,7 @@ sim::Task<> FifoOrder::handle_reply(runtime::EventContext& ctx) {
   // successor if it has already arrived.
   const CallId next = next_call_id(ctx.arg_as<CallEvent>().id);
   if (state_.sRPC.contains(next)) {
+    state_.note(obs::Kind::kCallReleased, next.value(), kHoldFifo);
     co_await state_.forward_up(next, kHoldFifo);
   }
 }

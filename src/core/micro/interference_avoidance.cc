@@ -36,6 +36,7 @@ sim::Task<> InterferenceAvoidance::msg_from_net(runtime::EventContext& ctx) {
     // pseudocode omits this cancel and would let the first new-incarnation
     // arrival through; see DESIGN.md.)
     ++deferred_;
+    state_.note(obs::Kind::kCallDeferred, msg.id.value(), msg.sender.value());
     ctx.cancel();
   }
 }

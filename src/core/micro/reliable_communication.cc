@@ -88,6 +88,7 @@ sim::Task<> ReliableCommunication::handle_timeout() {
       if (msg.ackid != 0) ++piggybacked_acks_;
       state_.net_push(p, msg);
       ++retransmissions_;
+      state_.note(obs::Kind::kRetransmit, rec->id.value(), p.value());
     }
   }
   scratch_.clear();

@@ -51,6 +51,7 @@ sim::Task<> RpcMain::forward_up(CallId id, HoldIndex index) {
   // acquisition lives here; see priorities.h note 2), then execute.
   for (const auto& guard : state_.before_execute) co_await guard(id);
   UGRPC_ASSERT(state_.user != nullptr && "server site has no user protocol");
+  state_.note(obs::Kind::kExecStarted, id.value(), rec->client.value(), rec->client_inc);
   co_await state_.user->pop(rec->op, rec->args);
 
   CallEvent done{id};
@@ -70,6 +71,7 @@ sim::Task<> RpcMain::forward_up(CallId id, HoldIndex index) {
   auto it = state_.sRPC.find(id);
   if (it != state_.sRPC.end() && it->second == rec) state_.sRPC.erase(it);
   state_.net_push(client, reply);
+  state_.note(obs::Kind::kExecCommitted, id.value(), client.value(), rec->client_inc);
 }
 
 sim::Task<> RpcMain::msg_from_user(runtime::EventContext& ctx) {
@@ -85,6 +87,7 @@ sim::Task<> RpcMain::msg_from_user(runtime::EventContext& ctx) {
     }
     state_.pRPC[id] = rec;
   }
+  state_.note(obs::Kind::kCallIssued, rec->id.value(), umsg.server.value(), state_.inc_number);
   CallEvent created{rec->id};
   co_await fw_->trigger(kNewRpcCall, runtime::EventArg::ref(created));
   umsg.id = rec->id;

@@ -5,14 +5,17 @@
 namespace ugrpc::core {
 
 void SerialExecution::start(runtime::Framework& fw) {
-  state_.before_execute.push_back([this](CallId) -> sim::Task<> {
+  state_.before_execute.push_back([this](CallId id) -> sim::Task<> {
     co_await state_.serial.acquire();
     state_.serial_holder = state_.sched.current_fiber();
+    state_.note(obs::Kind::kSerialAcquired, id.value());
   });
   fw.register_handler(kReplyFromServer, "SerialExec.handle_reply", kPrioReplySerial,
-                      [this](runtime::EventContext&) -> sim::Task<> {
+                      [this](runtime::EventContext& ctx) -> sim::Task<> {
                         state_.serial_holder.reset();
                         state_.serial.release();
+                        state_.note(obs::Kind::kSerialReleased,
+                                    ctx.arg_as<CallEvent>().id.value());
                         co_return;
                       });
 }

@@ -26,7 +26,7 @@ void TerminateOrphan::start(runtime::Framework& fw) {
                       [this](runtime::EventContext& ctx) { return client_failure(ctx); });
 }
 
-void TerminateOrphan::kill_threads(ClientInfo& info) {
+void TerminateOrphan::kill_threads(ProcessId client, ClientInfo& info) {
   for (FiberId th : info.threads) {
     UGRPC_ASSERT(th != state_.sched.current_fiber());
     if (state_.serial_holder == th) {
@@ -36,6 +36,7 @@ void TerminateOrphan::kill_threads(ClientInfo& info) {
     }
     state_.sched.kill(th);
     ++orphans_killed_;
+    state_.note(obs::Kind::kOrphanKilled, 0, client.value(), th.value());
   }
   info.threads.clear();
 }
@@ -48,7 +49,7 @@ sim::Task<> TerminateOrphan::client_failure(runtime::EventContext& ctx) {
   if (!it->second.threads.empty()) {
     UGRPC_LOG(kDebug, "orphan@%u: probing detected death of client %u, killing %zu thread(s)",
               state_.my_id.value(), ev.who.value(), it->second.threads.size());
-    kill_threads(it->second);
+    kill_threads(ev.who, it->second);
   }
 }
 
@@ -65,7 +66,7 @@ sim::Task<> TerminateOrphan::msg_from_net(runtime::EventContext& ctx) {
     // Newer incarnation: the previous one is dead, its threads are orphans.
     UGRPC_LOG(kDebug, "orphan@%u: new incarnation of client %u, killing %zu thread(s)",
               state_.my_id.value(), msg.sender.value(), info.threads.size());
-    kill_threads(info);
+    kill_threads(msg.sender, info);
     info.inc = msg.inc;
   }
 }

@@ -50,7 +50,7 @@ class TerminateOrphan : public runtime::MicroProtocol {
     std::set<FiberId> threads;  ///< fibers executing this client's calls
   };
 
-  void kill_threads(ClientInfo& info);
+  void kill_threads(ProcessId client, ClientInfo& info);
 
   GrpcState& state_;
   std::unordered_map<ProcessId, ClientInfo> cinfo_;

@@ -102,17 +102,20 @@ sim::Task<> TotalOrder::msg_from_net(runtime::EventContext& ctx) {
       auto it = old_orders_.find(msg.id);
       if (it == old_orders_.end()) {
         waiting_set_.insert(msg.id);  // unordered: hold until an Order arrives
+        state_.note(obs::Kind::kCallHeld, msg.id.value(), kHoldTotal);
         co_return;
       }
       const std::uint64_t my_order = it->second;
       if (my_order < next_entry_) {
         // Already executed here; discard the freshly re-created record.
+        state_.note(obs::Kind::kStaleDropped, msg.id.value());
         ctx.cancel();
         state_.sRPC.erase(msg.id);
       } else if (my_order == next_entry_) {
         co_await state_.forward_up(msg.id, kHoldTotal);
       } else {
         ready_list_[my_order] = msg.id;
+        state_.note(obs::Kind::kCallHeld, msg.id.value(), kHoldTotal);
       }
       break;
     }
@@ -156,6 +159,7 @@ sim::Task<> TotalOrder::handle_reply(runtime::EventContext&) {
   if (it != ready_list_.end()) {
     const CallId next_id = it->second;
     ready_list_.erase(it);
+    state_.note(obs::Kind::kCallReleased, next_id.value(), kHoldTotal);
     co_await state_.forward_up(next_id, kHoldTotal);
   }
 }

@@ -65,6 +65,7 @@ sim::Task<> UniqueExecution::msg_from_net(runtime::EventContext& ctx) {
       if (auto it = old_results_.find(msg.id); it != old_results_.end()) {
         // Completed before: answer from the stored result, do not re-execute.
         ++duplicates_suppressed_;
+        state_.note(obs::Kind::kDupSuppressed, msg.id.value());
         net::NetMessage reply;
         reply.type = net::MsgType::kReply;
         reply.id = msg.id;
@@ -78,6 +79,7 @@ sim::Task<> UniqueExecution::msg_from_net(runtime::EventContext& ctx) {
       } else if (old_calls_.contains(msg.id)) {
         // In progress (or executed and already acknowledged): drop.
         ++duplicates_suppressed_;
+        state_.note(obs::Kind::kDupSuppressed, msg.id.value());
         ctx.cancel();
       } else {
         old_calls_.insert(msg.id);

@@ -1,0 +1,16 @@
+#include "core/observe.h"
+
+namespace ugrpc::core {
+
+obs::Expect expectations_from(const Config& config) {
+  obs::Expect expect;
+  expect.unique_execution = config.unique_execution;
+  expect.atomic_execution = config.execution == ExecutionMode::kSerialAtomic;
+  expect.termination_bound = config.termination_bound;
+  expect.fifo_order = config.ordering == Ordering::kFifo;
+  expect.total_order = config.ordering == Ordering::kTotal;
+  expect.terminate_orphans = config.orphan == OrphanHandling::kTerminateOrphans;
+  return expect;
+}
+
+}  // namespace ugrpc::core

@@ -1,0 +1,20 @@
+// Bridges core::Config to the observability checker (obs layer knows
+// nothing about core).  expectations_from() answers "which invariants does
+// this micro-protocol selection promise?" so benches and fault campaigns
+// can validate a trace without hand-picking checks.
+#pragma once
+
+#include "core/config.h"
+#include "obs/checker.h"
+
+namespace ugrpc::core {
+
+/// Derives the checker expectations a configuration commits to:
+///   * unique_execution       -> unique-execution invariant;
+///   * kSerialAtomic          -> atomic-execution invariant;
+///   * termination_bound set  -> bounded-termination with that bound;
+///   * ordering kFifo/kTotal  -> the matching order invariant;
+///   * kTerminateOrphans      -> orphan-termination invariant.
+[[nodiscard]] obs::Expect expectations_from(const Config& config);
+
+}  // namespace ugrpc::core

@@ -9,6 +9,7 @@ void echo_app(UserProtocol& user, Site&) {
 Scenario::Scenario(ScenarioParams params) : params_(std::move(params)), sched_(params_.seed) {
   net_ = std::make_unique<net::Network>(sched_);
   net_->set_default_faults(params_.faults);
+  net_->set_tracer(params_.tracer);
   transport_ = std::make_unique<net::SimTransport>(*net_);
 
   // client_id() depends on servers_.size(); during construction compute the
@@ -34,12 +35,14 @@ Scenario::Scenario(ScenarioParams params) : params_(std::move(params)), sched_(p
     auto site = std::make_unique<Site>(*transport_, server_id(i), params_.config, known,
                                        all_procs);
     site->set_app(app);
+    site->set_tracer(params_.tracer);
     site->boot();
     servers_.push_back(std::move(site));
   }
   for (int i = 0; i < params_.num_clients; ++i) {
     auto site = std::make_unique<Site>(*transport_, client_id(i), params_.config, known,
                                        all_procs);
+    site->set_tracer(params_.tracer);
     site->boot();
     clients_.push_back(std::move(site));
     client_handles_.push_back(std::make_unique<Client>(*clients_.back()));

@@ -47,6 +47,11 @@ class Site {
 
   void set_app(AppSetup setup) { app_setup_ = std::move(setup); }
 
+  /// Attaches a trace collector (before boot()): the site records its
+  /// crash/recovery lifecycle and hands its per-site ring to every stack it
+  /// builds, so traces span incarnations.  nullptr = tracing off.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Builds the stack and brings the site up.  Call once, after set_app.
   void boot();
 
@@ -87,6 +92,7 @@ class Site {
   std::vector<ProcessId> watch_;
   storage::StableStore stable_;
   AppSetup app_setup_;
+  obs::Tracer* tracer_ = nullptr;
 
   net::Endpoint* endpoint_ = nullptr;
   std::unique_ptr<UserProtocol> user_;

@@ -7,7 +7,33 @@
 
 namespace ugrpc::net {
 
+namespace {
+
+/// Minimum virtual-time gap between unroutable warnings for one key.
+constexpr sim::Duration kUnroutableLogPeriod = sim::seconds(1);
+
+/// Rate-limiter keys: one space for links, one for (sender, group).
+constexpr std::uint64_t link_key(ProcessId from, ProcessId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+constexpr std::uint64_t group_key(ProcessId from, GroupId group) {
+  return (std::uint64_t{1} << 63) | (static_cast<std::uint64_t>(from.value()) << 16) |
+         group.value();
+}
+
+}  // namespace
+
 Network::Network(sim::Scheduler& sched) : sched_(sched), rng_(sched.rng().fork()) {}
+
+std::uint64_t Network::unroutable_occurrences_to_log(std::uint64_t key) {
+  UnroutableLogState& state = unroutable_log_[key];
+  ++state.unlogged;
+  const sim::Time now = sched_.now();
+  if (state.ever_logged && now - state.last_log < kUnroutableLogPeriod) return 0;
+  state.ever_logged = true;
+  state.last_log = now;
+  return std::exchange(state.unlogged, 0);
+}
 
 Endpoint& Network::attach(ProcessId process, DomainId domain) {
   // In-place construction: Endpoint is pinned (handler table address escapes
@@ -60,8 +86,18 @@ void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buf
     // No attachment now and none possible by delivery time from this send:
     // the packet has no route.  Count it instead of letting it vanish.
     ++stats_.unroutable;
-    UGRPC_LOG(kWarn, "net: unroutable %u->%u proto=%u (destination not attached)", from.value(),
-              to.value(), proto.value());
+    if (obs_) {
+      obs_->site(from).record(sched_.now(), obs::Kind::kMsgUnroutable, 0, to.value(),
+                              proto.value());
+    }
+    if (const std::uint64_t n = unroutable_occurrences_to_log(link_key(from, to)); n == 1) {
+      UGRPC_LOG(kWarn, "net: unroutable %u->%u proto=%u (destination not attached)", from.value(),
+                to.value(), proto.value());
+    } else if (n > 1) {
+      UGRPC_LOG(kWarn,
+                "net: unroutable %u->%u: %llu more since last report (latest proto=%u)",
+                from.value(), to.value(), static_cast<unsigned long long>(n), proto.value());
+    }
     return;
   }
   LinkStats& link = link_stats_[{from, to}];
@@ -79,6 +115,9 @@ void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buf
     ++stats_.dropped;
     ++link.dropped;
     if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDropped);
+    if (obs_) {
+      obs_->site(from).record(sched_.now(), obs::Kind::kMsgDropped, 0, to.value(), proto.value());
+    }
     UGRPC_LOG(kTrace, "net: drop %u->%u proto=%u", from.value(), to.value(), proto.value());
     return;
   }
@@ -88,11 +127,18 @@ void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buf
                : sim::Duration{rng_.uniform_int(spec.min_delay, spec.max_delay)};
   };
   if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDelivered);
+  if (obs_) {
+    obs_->site(from).record(sched_.now(), obs::Kind::kMsgSent, 0, to.value(), proto.value());
+  }
   schedule_delivery(Packet{from, to, proto, payload}, draw_delay());
   if (rng_.bernoulli(spec.dup_prob)) {
     ++stats_.duplicated;
     ++link.duplicated;
     if (tracer_) tracer_(Packet{from, to, proto, payload}, PacketFate::kDuplicated);
+    if (obs_) {
+      obs_->site(from).record(sched_.now(), obs::Kind::kMsgDuplicated, 0, to.value(),
+                              proto.value());
+    }
     schedule_delivery(Packet{from, to, proto, payload}, draw_delay());
   }
 }
@@ -102,8 +148,18 @@ void Network::multicast_from(ProcessId from, GroupId group, ProtocolId proto,
   auto it = groups_.find(group);
   if (it == groups_.end()) {
     ++stats_.unroutable;
-    UGRPC_LOG(kWarn, "net: unroutable multicast from %u to undefined group %u proto=%u",
-              from.value(), group.value(), proto.value());
+    if (obs_) {
+      obs_->site(from).record(sched_.now(), obs::Kind::kMsgUnroutable, 0, group.value(),
+                              proto.value());
+    }
+    if (const std::uint64_t n = unroutable_occurrences_to_log(group_key(from, group)); n == 1) {
+      UGRPC_LOG(kWarn, "net: unroutable multicast from %u to undefined group %u proto=%u",
+                from.value(), group.value(), proto.value());
+    } else if (n > 1) {
+      UGRPC_LOG(kWarn,
+                "net: unroutable multicast from %u to group %u: %llu more since last report",
+                from.value(), group.value(), static_cast<unsigned long long>(n));
+    }
     return;
   }
   for (ProcessId member : it->second) {
@@ -117,6 +173,10 @@ void Network::schedule_delivery(Packet packet, sim::Duration delay) {
     if (it == endpoints_.end() || !process_up(packet.dst)) {
       ++stats_.dropped;
       ++link_stats_[{packet.src, packet.dst}].dropped;
+      if (obs_) {
+        obs_->site(packet.dst).record(sched_.now(), obs::Kind::kMsgDropped, 0,
+                                      packet.src.value(), packet.proto.value());
+      }
       return;  // destination crashed or detached while the packet was in flight
     }
     SimEndpoint& ep = it->second;
@@ -124,11 +184,19 @@ void Network::schedule_delivery(Packet packet, sim::Duration delay) {
     if (handler == nullptr) {
       ++stats_.dropped;
       ++link_stats_[{packet.src, packet.dst}].dropped;
+      if (obs_) {
+        obs_->site(packet.dst).record(sched_.now(), obs::Kind::kMsgDropped, 0,
+                                      packet.src.value(), packet.proto.value());
+      }
       UGRPC_LOG(kDebug, "net: no handler for proto=%u at %u", packet.proto.value(),
                 packet.dst.value());
       return;
     }
     ++stats_.delivered;
+    if (obs_) {
+      obs_->site(packet.dst).record(sched_.now(), obs::Kind::kMsgDelivered, 0,
+                                    packet.src.value(), packet.proto.value());
+    }
     LinkStats& link = link_stats_[{packet.src, packet.dst}];
     ++link.delivered;
     stats_.bytes_delivered += packet.payload.size();

@@ -33,6 +33,7 @@
 #include "common/ids.h"
 #include "net/fault.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
@@ -80,6 +81,12 @@ class Network {
   using PacketTracer = std::function<void(const Packet&, PacketFate)>;
   void set_packet_tracer(PacketTracer tracer) { tracer_ = std::move(tracer); }
 
+  /// Attaches the fabric to a trace collector: transmissions record
+  /// kMsgSent/kMsgDropped/kMsgDuplicated/kMsgUnroutable on the sender's ring
+  /// and deliveries record kMsgDelivered (or kMsgDropped for in-flight
+  /// losses) on the receiver's.  nullptr (default) disables recording.
+  void set_tracer(obs::Tracer* tracer) { obs_ = tracer; }
+
   // ---- counters (for benches and tests) ----
 
   using Stats = net::Stats;
@@ -87,6 +94,7 @@ class Network {
   void reset_stats() {
     stats_ = {};
     link_stats_.clear();
+    unroutable_log_.clear();
   }
 
   /// Per-link (ordered from->to pair) counters.  `sent`/`dropped`/
@@ -129,6 +137,16 @@ class Network {
   void schedule_delivery(Packet packet, sim::Duration delay);
   [[nodiscard]] const FaultSpec& faults_for(ProcessId from, ProcessId to) const;
 
+  /// Rate limiter for unroutable-destination warnings: a retransmitting
+  /// client can hit the same dead destination thousands of times per
+  /// simulated second, and one log line per packet drowns everything else.
+  /// Policy (per key = link or (sender, group)): log the first occurrence in
+  /// full, then at most one summary per kUnroutableLogPeriod carrying the
+  /// exact count of suppressed occurrences.  stats_.unroutable stays exact
+  /// regardless.  Returns the number of occurrences to report (0 = stay
+  /// silent, 1 = first occurrence, n>1 = summary of n since the last line).
+  [[nodiscard]] std::uint64_t unroutable_occurrences_to_log(std::uint64_t key);
+
   sim::Scheduler& sched_;
   sim::Rng rng_;
   FaultSpec default_faults_;
@@ -139,6 +157,14 @@ class Network {
   Stats stats_;
   std::map<std::pair<ProcessId, ProcessId>, LinkStats> link_stats_;
   PacketTracer tracer_;
+  obs::Tracer* obs_ = nullptr;
+
+  struct UnroutableLogState {
+    std::uint64_t unlogged = 0;  ///< occurrences since the last emitted line
+    sim::Time last_log = 0;
+    bool ever_logged = false;
+  };
+  std::unordered_map<std::uint64_t, UnroutableLogState> unroutable_log_;
 };
 
 }  // namespace ugrpc::net

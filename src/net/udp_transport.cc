@@ -138,12 +138,14 @@ void UdpTransport::send_from(ProcessId src, ProcessId dst, ProtocolId proto, Buf
   auto dst_it = peers_.find(dst);
   if (dst_it == peers_.end()) {
     ++stats_.unroutable;
+    if (obs_) obs_->site(src).record(now(), obs::Kind::kMsgUnroutable, 0, dst.value(), proto.value());
     UGRPC_LOG(kWarn, "udp: unroutable %u->%u proto=%u (no address-book entry)", src.value(),
               dst.value(), proto.value());
     return;
   }
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
+  if (obs_) obs_->site(src).record(now(), obs::Kind::kMsgSent, 0, dst.value(), proto.value());
   if (!src_it->second.up) {
     ++stats_.dropped;
     return;  // crashed senders produce nothing
@@ -212,6 +214,10 @@ void UdpTransport::dispatch_datagram(Attachment& att, std::span<const std::byte>
   }
   ++stats_.delivered;
   stats_.bytes_delivered += frame->payload.size();
+  if (obs_) {
+    obs_->site(frame->dst).record(now(), obs::Kind::kMsgDelivered, 0, frame->src.value(),
+                                  frame->proto.value());
+  }
   // x-kernel demux: each delivery runs in a fresh fiber in the destination's
   // domain; the wrapper keeps the handler alive for the fiber's lifetime.
   static constexpr auto invoke = [](std::shared_ptr<PacketHandler> h, Packet p) -> sim::Task<> {

@@ -37,6 +37,7 @@
 
 #include "net/timer_wheel.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 
 namespace ugrpc::net {
 
@@ -108,6 +109,10 @@ class UdpTransport final : public Transport {
   /// fiber completion.
   bool run_until_fiber_done(FiberId fiber, sim::Duration timeout);
 
+  /// Records kMsgSent/kMsgDelivered/kMsgDropped/kMsgUnroutable on the local
+  /// processes' rings (steady-clock timestamps).  nullptr disables.
+  void set_tracer(obs::Tracer* tracer) { obs_ = tracer; }
+
  private:
   class UdpEndpoint final : public Endpoint {
    public:
@@ -154,6 +159,7 @@ class UdpTransport final : public Transport {
   /// detach tags frames as a fresh incarnation.
   std::unordered_map<ProcessId, std::uint32_t> attach_counts_;
   Stats stats_;
+  obs::Tracer* obs_ = nullptr;
 };
 
 }  // namespace ugrpc::net

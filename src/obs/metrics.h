@@ -1,0 +1,104 @@
+// Named counters / histograms / gauges, dumpable as JSON.
+//
+// Replaces ad-hoc per-component stats plumbing as the way benches and tests
+// export numbers: components either own obs::Counter/obs::Histogram objects
+// registered here, or bind existing fields as gauges (read-at-dump), so
+// legacy structs like net::Stats surface in the same JSON artifact without
+// hot-path changes.  A Registry is experiment-scoped (no globals): each
+// bench builds one, lets components export into it, and dumps it alongside
+// its results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/assert.h"
+
+namespace ugrpc::obs {
+
+/// A monotonically increasing named count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-footprint value distribution: power-of-two buckets plus exact
+/// count/sum/min/max.  Good enough for latency shapes without per-sample
+/// allocation; quantiles are bucket-resolution estimates (upper bound).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;  ///< bucket i holds values with bit_width i
+
+  void add(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    ++buckets_[bucket_of(v)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 <= q <= 1).
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v > 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Experiment-scoped registry of named metrics.  Names are dotted paths
+/// ("net.sent", "call.latency_us"); references returned by counter() /
+/// histogram() are stable for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+  /// Binds an externally owned value; `read` is evaluated at dump time.
+  void gauge(const std::string& name, std::function<std::uint64_t()> read);
+
+  /// All metrics as one JSON object.  Histograms dump as
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p99":..}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  // node-based maps keep references stable across insertion
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<std::uint64_t()>> gauges_;
+};
+
+}  // namespace ugrpc::obs

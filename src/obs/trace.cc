@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace ugrpc::obs {
+
+std::string_view kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCallIssued: return "call_issued";
+    case Kind::kCallCompleted: return "call_completed";
+    case Kind::kEventTriggered: return "event_triggered";
+    case Kind::kEventHandled: return "event_handled";
+    case Kind::kMsgSent: return "msg_sent";
+    case Kind::kMsgDelivered: return "msg_delivered";
+    case Kind::kMsgDropped: return "msg_dropped";
+    case Kind::kMsgDuplicated: return "msg_duplicated";
+    case Kind::kMsgUnroutable: return "msg_unroutable";
+    case Kind::kTimerArmed: return "timer_armed";
+    case Kind::kTimerFired: return "timer_fired";
+    case Kind::kTimerCancelled: return "timer_cancelled";
+    case Kind::kExecStarted: return "exec_started";
+    case Kind::kExecCommitted: return "exec_committed";
+    case Kind::kDupSuppressed: return "dup_suppressed";
+    case Kind::kRetransmit: return "retransmit";
+    case Kind::kCheckpoint: return "checkpoint";
+    case Kind::kStateRestored: return "state_restored";
+    case Kind::kOrphanKilled: return "orphan_killed";
+    case Kind::kCallDeferred: return "call_deferred";
+    case Kind::kStaleDropped: return "stale_dropped";
+    case Kind::kCallHeld: return "call_held";
+    case Kind::kCallReleased: return "call_released";
+    case Kind::kSerialAcquired: return "serial_acquired";
+    case Kind::kSerialReleased: return "serial_released";
+    case Kind::kDeadlineExpired: return "deadline_expired";
+    case Kind::kSiteCrashed: return "site_crashed";
+    case Kind::kSiteRecovered: return "site_recovered";
+    case Kind::kKindCount: break;
+  }
+  return "<invalid>";
+}
+
+Tracer::Tracer(std::size_t per_site_capacity) : capacity_(per_site_capacity) {
+  UGRPC_ASSERT(capacity_ > 0);
+  names_.emplace_back();  // id 0 = ""
+}
+
+SiteTrace& Tracer::site(ProcessId site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(site, std::unique_ptr<SiteTrace>(new SiteTrace(*this, site, capacity_)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint32_t SiteTrace::intern(std::string_view s) { return tracer_.intern(s); }
+
+std::uint32_t Tracer::intern(std::string_view s) {
+  if (s.empty()) return 0;
+  auto it = name_ids_.find(std::string(s));
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& Tracer::name(std::uint32_t id) const {
+  return id < names_.size() ? names_[id] : names_[0];
+}
+
+std::vector<Event> SiteTrace::events() const {
+  std::vector<Event> out;
+  out.reserve(count_);
+  // Oldest-first: when full, the oldest entry sits at head_ (next overwrite).
+  const std::size_t start = count_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> Tracer::merged() const {
+  std::vector<Event> out;
+  for (const auto& [id, site] : sites_) {
+    auto evs = site->events();
+    out.insert(out.end(), evs.begin(), evs.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, site] : sites_) total += site->dropped();
+  return total;
+}
+
+std::string Tracer::dump_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Event& e : merged()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"seq\":" + std::to_string(e.seq) + ",\"t\":" + std::to_string(e.time) +
+           ",\"site\":" + std::to_string(e.site.value()) + ",\"kind\":\"" +
+           std::string(kind_name(e.kind)) + "\"";
+    if (e.call != 0) out += ",\"call\":" + std::to_string(e.call);
+    if (e.a != 0) out += ",\"a\":" + std::to_string(e.a);
+    if (e.b != 0) out += ",\"b\":" + std::to_string(e.b);
+    if (e.name != 0) out += ",\"name\":\"" + name(e.name) + "\"";
+    out += "}";
+  }
+  out += "\n]";
+  return out;
+}
+
+void Tracer::clear() {
+  // Reset the rings in place: components hold raw SiteTrace pointers, and
+  // site() promises stable references for the tracer's lifetime.
+  for (auto& [id, site] : sites_) {
+    site->head_ = 0;
+    site->count_ = 0;
+    site->dropped_ = 0;
+  }
+  next_seq_ = 1;
+  for (auto& c : counts_) c = 0;
+}
+
+}  // namespace ugrpc::obs

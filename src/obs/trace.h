@@ -1,0 +1,193 @@
+// Structured call-trace observability (tentpole of ISSUE 3).
+//
+// The paper's claims -- exactly-once vs at-most-once, bounded termination,
+// orphan cleanup, FIFO/total delivery order -- are *semantic*: they speak
+// about which events may or may not occur in an execution.  This layer turns
+// every run into a machine-checkable event log:
+//
+//   * Tracer owns one ring buffer per site (process).  Components record
+//     typed Event entries -- call issued/completed, event triggered/handled,
+//     message sent/delivered/dropped/duplicated, timer armed/fired/cancelled,
+//     execution started/committed, checkpoint/restore, orphan killed, site
+//     crash/recovery -- stamped with the site's clock and a tracer-global
+//     sequence number.  In the deterministic simulator the sequence number is
+//     a total order consistent with causality, so merging the per-site rings
+//     by sequence yields a faithful global history.
+//   * obs::check (checker.h) replays a merged trace against the invariants
+//     the selected micro-protocol set promises.
+//
+// Cost model: tracing is OFF unless a Tracer is attached.  Every record site
+// is guarded by a single pointer null-check, so the dispatch and transport
+// hot paths are unchanged when disabled (BENCH_dispatch / BENCH_transport
+// medians are pinned by the acceptance criteria of ISSUE 3).  When enabled,
+// record() is an inline bump of a preallocated ring -- no allocation, no
+// formatting, no I/O.
+//
+// Layering: obs depends only on common + sim, so both the network fabric
+// (src/net) and the protocol stack (src/core) can record into it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/time.h"
+
+namespace ugrpc::obs {
+
+/// Typed trace event kinds.  `call`/`a`/`b` operand meaning per kind is
+/// documented inline; 0 means "not applicable".
+enum class Kind : std::uint8_t {
+  // Call lifecycle (client side).
+  kCallIssued,     ///< call=id, a=server group, b=client incarnation
+  kCallCompleted,  ///< call=id, a=Status value (0 ok, 2 timeout)
+  // Framework dispatch.
+  kEventTriggered,  ///< a=event id, name=event name
+  kEventHandled,    ///< a=event id, b=priority, name=handler name
+  // Transport.
+  kMsgSent,        ///< a=peer (dst), b=protocol id
+  kMsgDelivered,   ///< a=peer (src), b=protocol id
+  kMsgDropped,     ///< a=peer, b=protocol id
+  kMsgDuplicated,  ///< a=peer (dst), b=protocol id
+  kMsgUnroutable,  ///< a=peer or group, b=protocol id
+  // Timers (framework TIMEOUT registrations).
+  kTimerArmed,      ///< a=timer id, b=delay, name=timer name
+  kTimerFired,      ///< a=timer id, name=timer name
+  kTimerCancelled,  ///< a=timer id
+  // Server-side execution.
+  kExecStarted,    ///< call=id, a=client process, b=client incarnation
+  kExecCommitted,  ///< call=id, a=client process, b=client incarnation
+  kDupSuppressed,  ///< call=id (Unique Execution answered/dropped a duplicate)
+  kRetransmit,     ///< call=id, a=destination process
+  kCheckpoint,     ///< a=stable checkpoint address (Atomic Execution)
+  kStateRestored,  ///< a=stable checkpoint address (recovery rollback)
+  kOrphanKilled,   ///< a=client process, b=fiber id
+  kCallDeferred,   ///< call=id, a=client process (Interference Avoidance)
+  kStaleDropped,   ///< call=id (ordering dropped an orphaned/executed call)
+  kCallHeld,       ///< call=id, a=HoldIndex (ordering gate not yet satisfied)
+  kCallReleased,   ///< call=id, a=HoldIndex (gate opened)
+  kSerialAcquired, ///< call=id (Serial Execution token)
+  kSerialReleased, ///< call=id
+  kDeadlineExpired,///< call=id (Bounded Termination fired)
+  // Site lifecycle.
+  kSiteCrashed,    ///< a=incarnation that died
+  kSiteRecovered,  ///< a=new incarnation
+  kKindCount,      ///< sentinel, not a real kind
+};
+
+inline constexpr std::size_t kKindCount = static_cast<std::size_t>(Kind::kKindCount);
+
+/// Short stable name, e.g. "exec_committed" (used in JSON dumps).
+[[nodiscard]] std::string_view kind_name(Kind k);
+
+/// One trace record.  Plain data; 48 bytes.
+struct Event {
+  std::uint64_t seq = 0;   ///< tracer-global, monotonically increasing
+  sim::Time time = 0;      ///< site clock (virtual or steady, per backend)
+  ProcessId site;          ///< which site's ring recorded it
+  Kind kind = Kind::kKindCount;
+  std::uint32_t name = 0;  ///< interned string id, 0 = none
+  std::uint64_t call = 0;  ///< raw CallId, 0 = none
+  std::uint64_t a = 0;     ///< kind-specific (see Kind)
+  std::uint64_t b = 0;     ///< kind-specific (see Kind)
+};
+
+class Tracer;
+
+/// Per-site ring buffer.  Owned by a Tracer; components hold a raw pointer
+/// (nullptr = tracing disabled) and call record().
+class SiteTrace {
+ public:
+  /// Appends an event; overwrites the oldest entry when the ring is full
+  /// (dropped() counts the overwritten ones).
+  void record(sim::Time time, Kind kind, std::uint64_t call = 0, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint32_t name = 0);
+
+  /// Interns `s` in the owning tracer's string table (for the name field).
+  [[nodiscard]] std::uint32_t intern(std::string_view s);
+
+  /// Events currently retained, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] ProcessId site() const { return site_; }
+
+ private:
+  friend class Tracer;
+  SiteTrace(Tracer& tracer, ProcessId site, std::size_t capacity)
+      : tracer_(tracer), site_(site), ring_(capacity) {}
+
+  Tracer& tracer_;
+  ProcessId site_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;   ///< next write position
+  std::size_t count_ = 0;  ///< live entries (<= capacity)
+  std::uint64_t dropped_ = 0;
+};
+
+/// The per-experiment trace collector: a registry of per-site rings, a
+/// shared string-intern table, and per-kind counters.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t per_site_capacity = 1 << 15);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The ring of `site`, created on first use.  The reference is stable for
+  /// the tracer's lifetime (sites are node-allocated).
+  [[nodiscard]] SiteTrace& site(ProcessId site);
+
+  [[nodiscard]] std::uint32_t intern(std::string_view s);
+  /// The interned string for `id`; "" for 0 or out of range.
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+
+  /// All retained events of all sites merged into one history, ordered by
+  /// sequence number (a causal total order in the deterministic simulator).
+  [[nodiscard]] std::vector<Event> merged() const;
+
+  /// Events recorded per kind since construction/clear (not capped by ring
+  /// capacity -- these are exact counters).
+  [[nodiscard]] std::uint64_t count(Kind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  /// Total events overwritten across all rings.  A non-zero value means
+  /// merged() is an incomplete history (checker results are unreliable);
+  /// size the per-site capacity for the experiment instead.
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Serializes the merged trace as a JSON array (one object per event).
+  [[nodiscard]] std::string dump_json() const;
+
+  void clear();
+
+ private:
+  friend class SiteTrace;
+
+  std::size_t capacity_;
+  std::map<ProcessId, std::unique_ptr<SiteTrace>> sites_;
+  std::vector<std::string> names_;  ///< names_[0] == ""
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t counts_[kKindCount] = {};
+};
+
+inline void SiteTrace::record(sim::Time time, Kind kind, std::uint64_t call, std::uint64_t a,
+                              std::uint64_t b, std::uint32_t name) {
+  Event& slot = ring_[head_];
+  if (count_ == ring_.size()) {
+    ++dropped_;
+  } else {
+    ++count_;
+  }
+  slot = Event{tracer_.next_seq_++, time, site_, kind, name, call, a, b};
+  ++tracer_.counts_[static_cast<std::size_t>(kind)];
+  head_ = (head_ + 1) % ring_.size();
+}
+
+}  // namespace ugrpc::obs

@@ -76,10 +76,19 @@ sim::Task<bool> Framework::trigger(EventId event, EventArg arg) {
   // *during* this trigger do not run in it (they land in a new snapshot),
   // and deregistered ones are skipped via the liveness check below.
   std::shared_ptr<const Chain> chain = chain_for(event);
+  if (site_trace_) {
+    site_trace_->record(transport_.now(), obs::Kind::kEventTriggered, 0, event.value(), 0,
+                        site_trace_->intern(event_name(event)));
+  }
   EventContext ctx(arg);
   for (const RegistrationPtr& reg : *chain) {
     if (!by_id_.contains(reg->id)) continue;  // deregistered mid-event
     if (trace_) trace_(transport_.now(), event_name(event), reg->name);
+    if (site_trace_) {
+      site_trace_->record(transport_.now(), obs::Kind::kEventHandled, 0, event.value(),
+                          static_cast<std::uint64_t>(reg->priority),
+                          site_trace_->intern(reg->name));
+    }
     co_await reg->fn(ctx);
     if (ctx.cancelled()) co_return false;
   }
@@ -98,19 +107,33 @@ TimerId Framework::register_timeout(std::string name, sim::Duration delay, Timeo
   static constexpr auto invoke = [](std::shared_ptr<TimeoutHandler> f) -> sim::Task<> {
     co_await (*f)();
   };
+  const std::uint32_t name_id = site_trace_ ? site_trace_->intern(name) : 0;
   const TimerId id = transport_.schedule_after(
       delay,
-      [this, shared_fn, name = std::move(name)]() { transport_.spawn(invoke(shared_fn), domain_); },
+      [this, shared_fn, name = std::move(name), name_id]() {
+        if (site_trace_) {
+          // The fired timer id is unknown inside the callback (schedule_after
+          // assigns it after capture); the name identifies the timer class.
+          site_trace_->record(transport_.now(), obs::Kind::kTimerFired, 0, 0, 0, name_id);
+        }
+        transport_.spawn(invoke(shared_fn), domain_);
+      },
       domain_);
   // Fired timers linger in this set until cancel/destruction; cancelling an
   // already-fired timer is a harmless no-op and ids are never reused.
   live_timeouts_.insert(id);
+  if (site_trace_) {
+    site_trace_->record(transport_.now(), obs::Kind::kTimerArmed, 0, id.value(),
+                        static_cast<std::uint64_t>(delay), name_id);
+  }
   return id;
 }
 
 void Framework::cancel_timeout(TimerId id) {
   transport_.cancel_timer(id);
-  live_timeouts_.erase(id);
+  if (live_timeouts_.erase(id) > 0 && site_trace_) {
+    site_trace_->record(transport_.now(), obs::Kind::kTimerCancelled, 0, id.value());
+  }
 }
 
 std::vector<Framework::RegistrationInfo> Framework::registrations() const {

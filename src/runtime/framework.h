@@ -43,6 +43,7 @@
 
 #include "common/ids.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "runtime/event.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
@@ -111,6 +112,13 @@ class Framework {
                                            const std::string& handler)>;
   void set_trace_observer(TraceObserver observer) { trace_ = std::move(observer); }
 
+  /// Attaches this framework to a per-site trace ring (obs layer): trigger()
+  /// records kEventTriggered/kEventHandled and the TIMEOUT machinery records
+  /// kTimerArmed/kTimerFired/kTimerCancelled.  nullptr (the default) turns
+  /// recording off; every record site is behind a single pointer check.
+  void set_site_trace(obs::SiteTrace* trace) { site_trace_ = trace; }
+  [[nodiscard]] obs::SiteTrace* site_trace() const { return site_trace_; }
+
   // ---- introspection (Figure 3 reproduction, debugging) ----
   struct RegistrationInfo {
     std::string event;
@@ -158,6 +166,7 @@ class Framework {
   std::unordered_map<EventId, std::string> event_names_;
   std::unordered_set<TimerId> live_timeouts_;
   TraceObserver trace_;
+  obs::SiteTrace* site_trace_ = nullptr;
   std::uint64_t next_handler_ = 1;
   std::uint64_t next_seq_ = 1;
 };

@@ -1,0 +1,103 @@
+// Regression tests for bench argument parsing (satellite of ISSUE 3): the
+// original atoi-based parser silently turned "--calls abc" into 0 calls and
+// accepted negatives.  try_parse_args is the non-exiting core; these tests
+// pin the reject/accept behaviour.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace ugrpc::bench {
+namespace {
+
+ParseResult parse(std::initializer_list<const char*> argv_tail,
+                  std::uint64_t default_seed = 42) {
+  std::vector<const char*> argv{"bench"};
+  argv.insert(argv.end(), argv_tail);
+  return try_parse_args(static_cast<int>(argv.size()), argv.data(), default_seed);
+}
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));  // UINT64_MAX
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsGarbage) {
+  std::uint64_t v = 99;
+  EXPECT_FALSE(parse_u64(nullptr, v));
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("abc", v));       // atoi would return 0
+  EXPECT_FALSE(parse_u64("12abc", v));     // trailing garbage
+  EXPECT_FALSE(parse_u64("-5", v));        // negative
+  EXPECT_FALSE(parse_u64("+5", v));        // explicit sign
+  EXPECT_FALSE(parse_u64(" 5", v));        // leading whitespace
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // UINT64_MAX + 1
+  EXPECT_EQ(v, 99u) << "failed parse must not clobber the output";
+}
+
+TEST(ParseCount, RejectsValuesBeyondIntMax) {
+  int v = -1;
+  EXPECT_TRUE(parse_count("2147483647", v));
+  EXPECT_EQ(v, INT_MAX);
+  EXPECT_FALSE(parse_count("2147483648", v));
+  EXPECT_FALSE(parse_count("-1", v));
+}
+
+TEST(TryParseArgs, DefaultsWhenNoArgs) {
+  const ParseResult r = parse({});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.args.seed, 42u);
+  EXPECT_EQ(r.args.calls, 0);
+  EXPECT_EQ(r.args.out, "");
+}
+
+TEST(TryParseArgs, ParsesAllOptions) {
+  const ParseResult r = parse({"--seed", "7", "--calls", "100", "--out", "results.json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.args.seed, 7u);
+  EXPECT_EQ(r.args.calls, 100);
+  EXPECT_EQ(r.args.out, "results.json");
+}
+
+TEST(TryParseArgs, RejectsNonNumericCalls) {
+  const ParseResult r = parse({"--calls", "abc"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--calls"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("abc"), std::string::npos) << r.error;
+}
+
+TEST(TryParseArgs, RejectsNegativeCalls) {
+  EXPECT_FALSE(parse({"--calls", "-3"}).ok);
+}
+
+TEST(TryParseArgs, RejectsTrailingGarbageInSeed) {
+  EXPECT_FALSE(parse({"--seed", "12x"}).ok);
+}
+
+TEST(TryParseArgs, RejectsMissingValue) {
+  const ParseResult r = parse({"--seed"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("missing value"), std::string::npos) << r.error;
+}
+
+TEST(TryParseArgs, RejectsUnknownArgument) {
+  const ParseResult r = parse({"--bogus"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--bogus"), std::string::npos) << r.error;
+}
+
+TEST(TryParseArgs, SeedAcceptsFullUint64Range) {
+  const ParseResult r = parse({"--seed", "18446744073709551615"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.args.seed, UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace ugrpc::bench

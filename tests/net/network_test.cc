@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "net/message.h"
 
 namespace ugrpc::net {
@@ -265,6 +266,91 @@ TEST(NetMessage, DecodeRejectsTruncated) {
   Buffer cut;
   cut.append(enc.bytes().subspan(0, enc.size() - 3));
   EXPECT_THROW((void)NetMessage::decode(cut), CodecError);
+}
+
+// ---- unroutable-send warning rate limiting (satellite of ISSUE 3) ----
+//
+// A retransmission loop aimed at a detached process used to emit one warn
+// line per send.  The warnings are now rate-limited per (src, dst) link --
+// first occurrence immediately, then at most one summary per virtual second
+// carrying the exact suppressed count -- while stats().unroutable keeps
+// counting every occurrence.
+
+std::vector<std::string>& captured_warnings() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void capturing_sink(LogLevel level, std::string_view message) {
+  if (level >= LogLevel::kWarn) captured_warnings().emplace_back(message);
+}
+
+std::size_t unroutable_lines() {
+  std::size_t n = 0;
+  for (const std::string& l : captured_warnings()) {
+    if (l.find("unroutable") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+struct LogCapture {
+  LogSink previous;
+  LogCapture() : previous(set_log_sink(capturing_sink)) { captured_warnings().clear(); }
+  ~LogCapture() { set_log_sink(previous); }
+};
+
+TEST(Network, UnroutableWarningsAreRateLimitedButCountedExactly) {
+  Fixture f;
+  Endpoint& a = f.net.attach(ProcessId{1}, DomainId{1});
+  LogCapture capture;
+  // A burst at t=0: one full warning, the rest suppressed.
+  for (int i = 0; i < 50; ++i) a.send(ProcessId{2}, kProto, make_payload(1));
+  EXPECT_EQ(unroutable_lines(), 1u);
+  EXPECT_NE(captured_warnings().front().find("destination not attached"), std::string::npos);
+  // After the period, the next occurrence flushes a summary with the exact
+  // backlog (49 suppressed + this one).
+  f.sched.run_for(sim::seconds(2));
+  a.send(ProcessId{2}, kProto, make_payload(1));
+  ASSERT_EQ(unroutable_lines(), 2u);
+  EXPECT_NE(captured_warnings().back().find("50 more since last report"), std::string::npos)
+      << captured_warnings().back();
+  // The stats counter saw every single occurrence.
+  EXPECT_EQ(f.net.stats().unroutable, 51u);
+}
+
+TEST(Network, UnroutableRateLimiterIsPerLink) {
+  Fixture f;
+  Endpoint& a = f.net.attach(ProcessId{1}, DomainId{1});
+  Endpoint& b = f.net.attach(ProcessId{2}, DomainId{2});
+  LogCapture capture;
+  // Two different links: each gets its own first-occurrence line.
+  a.send(ProcessId{77}, kProto, make_payload(1));
+  b.send(ProcessId{78}, kProto, make_payload(1));
+  a.send(ProcessId{77}, kProto, make_payload(1));  // suppressed
+  EXPECT_EQ(unroutable_lines(), 2u);
+  EXPECT_EQ(f.net.stats().unroutable, 3u);
+}
+
+TEST(Network, UndefinedGroupMulticastIsRateLimitedSeparately) {
+  Fixture f;
+  Endpoint& a = f.net.attach(ProcessId{1}, DomainId{1});
+  LogCapture capture;
+  for (int i = 0; i < 10; ++i) a.multicast(GroupId{99}, kProto, make_payload(1));
+  EXPECT_EQ(unroutable_lines(), 1u);
+  EXPECT_NE(captured_warnings().front().find("undefined group"), std::string::npos);
+  EXPECT_EQ(f.net.stats().unroutable, 10u);
+}
+
+TEST(Network, ResetStatsClearsRateLimiterState) {
+  Fixture f;
+  Endpoint& a = f.net.attach(ProcessId{1}, DomainId{1});
+  LogCapture capture;
+  a.send(ProcessId{2}, kProto, make_payload(1));
+  f.net.reset_stats();
+  // A fresh epoch: the next occurrence is a "first" again.
+  a.send(ProcessId{2}, kProto, make_payload(1));
+  EXPECT_EQ(unroutable_lines(), 2u);
+  EXPECT_NE(captured_warnings().back().find("destination not attached"), std::string::npos);
 }
 
 }  // namespace

@@ -147,5 +147,88 @@ TEST(TimerWheel, ManyTimersAcrossSlots) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
 }
 
+// ---- ring-wrap regressions (audit, satellite of ISSUE 3) ----
+//
+// With 1ms granularity and 256 slots one rotation is 256ms.  These pin the
+// wrap behaviour: a timer several rotations out must survive any pattern of
+// advance() calls -- tiny steps that revisit its bucket each rotation, one
+// giant leap past it, or a gap of exactly a full rotation -- and fire
+// exactly once, exactly on time.
+
+TEST(TimerWheel, FarFutureTimerSurvivesManySmallAdvancesAcrossWrap) {
+  TimerWheel wheel;
+  int fired = 0;
+  // ~3.9 rotations out; its bucket is visited on every rotation before the
+  // deadline and the entry must be skipped each time.
+  wheel.add(sim::msec(1000), [&] { ++fired; }, sim::kGlobalDomain);
+  for (int t = 1; t <= 999; ++t) {
+    wheel.advance(sim::msec(t));
+    ASSERT_EQ(fired, 0) << "fired early at t=" << t << "ms";
+  }
+  wheel.advance(sim::msec(1000));
+  EXPECT_EQ(fired, 1);
+  wheel.advance(sim::msec(2000));
+  EXPECT_EQ(fired, 1) << "must not refire after the wrap";
+}
+
+TEST(TimerWheel, ExactRotationBoundaryFires) {
+  TimerWheel wheel;
+  int fired = 0;
+  // Deadline tick 256 hashes to slot 0 -- the same slot as tick 0, where
+  // the walk started.  Crossing the boundary must still fire it.
+  wheel.add(sim::msec(256), [&] { ++fired; }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(255));
+  EXPECT_EQ(fired, 0);
+  wheel.advance(sim::msec(256));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, AdvanceGapOfExactlyOneRotation) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.add(sim::msec(100), [&] { fired.push_back(1); }, sim::kGlobalDomain);
+  wheel.add(sim::msec(100 + 256), [&] { fired.push_back(2); }, sim::kGlobalDomain);
+  // One advance spanning exactly a full rotation: both entries share a slot
+  // and both deadlines are <= now.
+  wheel.advance(sim::msec(100 + 256));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerWheel, NearAndFarTimerInSameSlot) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.add(sim::msec(10), [&] { fired.push_back(1); }, sim::kGlobalDomain);
+  wheel.add(sim::msec(10 + 256), [&] { fired.push_back(2); }, sim::kGlobalDomain);
+  wheel.advance(sim::msec(20));
+  EXPECT_EQ(fired, (std::vector<int>{1})) << "the next-rotation entry must stay armed";
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.advance(sim::msec(10 + 256));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerWheel, NextDeadlineSeesFarFutureEntriesAfterPartialAdvance) {
+  TimerWheel wheel;
+  wheel.add(sim::msec(900), [] {}, sim::kGlobalDomain);
+  wheel.advance(sim::msec(500));  // passes the entry's bucket twice; must not disturb it
+  ASSERT_TRUE(wheel.next_deadline().has_value());
+  EXPECT_EQ(*wheel.next_deadline(), sim::msec(900));
+  EXPECT_EQ(wheel.size(), 1u);
+}
+
+TEST(TimerWheel, GapLargerThanOneRotationFiresOnlyDueEntries) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.add(sim::msec(50), [&] { fired.push_back(1); }, sim::kGlobalDomain);
+  wheel.add(sim::msec(400), [&] { fired.push_back(2); }, sim::kGlobalDomain);
+  wheel.add(sim::msec(5000), [&] { fired.push_back(3); }, sim::kGlobalDomain);
+  // A single advance over >1 rotation (walk caps at kSlots buckets): the two
+  // due entries fire in deadline order, the far one stays.
+  wheel.advance(sim::msec(600));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.advance(sim::msec(5000));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace ugrpc::net

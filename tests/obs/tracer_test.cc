@@ -1,0 +1,118 @@
+// Unit tests for the obs::Tracer / obs::SiteTrace ring recorder: ring-wrap
+// retention, global sequence ordering across sites, string interning,
+// exact per-kind counters, and the JSON dump shape.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace ugrpc::obs {
+namespace {
+
+constexpr ProcessId kSiteA{1};
+constexpr ProcessId kSiteB{2};
+
+TEST(SiteTrace, RecordsInOrderWithGlobalSequence) {
+  Tracer tracer;
+  SiteTrace& a = tracer.site(kSiteA);
+  SiteTrace& b = tracer.site(kSiteB);
+  a.record(sim::usec(10), Kind::kCallIssued, /*call=*/7);
+  b.record(sim::usec(11), Kind::kExecStarted, /*call=*/7);
+  a.record(sim::usec(20), Kind::kCallCompleted, /*call=*/7);
+
+  const auto merged = tracer.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].kind, Kind::kCallIssued);
+  EXPECT_EQ(merged[1].kind, Kind::kExecStarted);
+  EXPECT_EQ(merged[2].kind, Kind::kCallCompleted);
+  EXPECT_EQ(merged[0].site, kSiteA);
+  EXPECT_EQ(merged[1].site, kSiteB);
+  // Sequence numbers are strictly increasing across sites.
+  EXPECT_LT(merged[0].seq, merged[1].seq);
+  EXPECT_LT(merged[1].seq, merged[2].seq);
+}
+
+TEST(SiteTrace, SiteReferenceIsStable) {
+  Tracer tracer;
+  SiteTrace& first = tracer.site(kSiteA);
+  // Creating many other sites must not invalidate the first reference.
+  for (std::uint32_t i = 10; i < 60; ++i) (void)tracer.site(ProcessId{i});
+  EXPECT_EQ(&first, &tracer.site(kSiteA));
+}
+
+TEST(SiteTrace, RingWrapKeepsNewestAndCountsDropped) {
+  Tracer tracer(/*per_site_capacity=*/4);
+  SiteTrace& s = tracer.site(kSiteA);
+  for (std::uint64_t i = 1; i <= 10; ++i) s.record(sim::usec(static_cast<sim::Time>(i)), Kind::kMsgSent, /*call=*/i);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.dropped(), 6u);
+  EXPECT_EQ(tracer.total_dropped(), 6u);
+  const auto events = s.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(events[0].call, 7u);
+  EXPECT_EQ(events[3].call, 10u);
+  for (std::size_t i = 1; i < events.size(); ++i) EXPECT_LT(events[i - 1].seq, events[i].seq);
+}
+
+TEST(SiteTrace, PerKindCountersAreExactDespiteWrap) {
+  Tracer tracer(/*per_site_capacity=*/2);
+  SiteTrace& s = tracer.site(kSiteA);
+  for (int i = 0; i < 9; ++i) s.record(0, Kind::kMsgDelivered);
+  s.record(0, Kind::kMsgDropped);
+  // The ring only holds 2 events but the counters saw all 10.
+  EXPECT_EQ(tracer.count(Kind::kMsgDelivered), 9u);
+  EXPECT_EQ(tracer.count(Kind::kMsgDropped), 1u);
+  EXPECT_EQ(tracer.count(Kind::kMsgSent), 0u);
+}
+
+TEST(Tracer, InternDeduplicatesAndResolves) {
+  Tracer tracer;
+  const std::uint32_t a = tracer.intern("RPCMain.msg_from_user");
+  const std::uint32_t b = tracer.intern("Acceptance.handle_new_call");
+  const std::uint32_t a2 = tracer.intern("RPCMain.msg_from_user");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(tracer.name(a), "RPCMain.msg_from_user");
+  EXPECT_EQ(tracer.name(0), "");
+  EXPECT_EQ(tracer.name(9999), "");
+  // SiteTrace::intern goes through the shared table.
+  EXPECT_EQ(tracer.site(kSiteA).intern("RPCMain.msg_from_user"), a);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tracer(/*per_site_capacity=*/2);
+  SiteTrace& s = tracer.site(kSiteA);
+  for (int i = 0; i < 5; ++i) s.record(0, Kind::kCallIssued);
+  tracer.clear();
+  EXPECT_EQ(tracer.merged().size(), 0u);
+  EXPECT_EQ(tracer.count(Kind::kCallIssued), 0u);
+  EXPECT_EQ(tracer.total_dropped(), 0u);
+  // The ring reference stays usable after clear.
+  s.record(0, Kind::kCallIssued);
+  EXPECT_EQ(tracer.merged().size(), 1u);
+}
+
+TEST(Tracer, DumpJsonNamesKindsAndFields) {
+  Tracer tracer;
+  SiteTrace& s = tracer.site(kSiteA);
+  s.record(sim::usec(42), Kind::kExecCommitted, /*call=*/3, /*a=*/1, /*b=*/2,
+           s.intern("two_step"));
+  const std::string json = tracer.dump_json();
+  EXPECT_NE(json.find("\"kind\":\"exec_committed\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"call\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"two_step\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"site\":1"), std::string::npos) << json;
+}
+
+TEST(Tracer, KindNamesCoverEveryKind) {
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    EXPECT_FALSE(kind_name(static_cast<Kind>(k)).empty()) << "kind " << k;
+  }
+}
+
+}  // namespace
+}  // namespace ugrpc::obs
