@@ -20,6 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+
+#if defined(__unix__)
+#include <sys/utsname.h>
+#endif
 
 namespace ugrpc::bench {
 
@@ -28,6 +33,79 @@ struct Args {
   int calls;
   std::string out;
 };
+
+// ---- environment stamping ----
+//
+// Every BENCH_*.json emitter records the environment it actually ran in.
+// These are measured, not guessed: an early artifact shipped with
+// `"host_cpus": 1, "library_build_type": "debug"` because the fields were
+// filled in by hand, which is precisely the kind of number that poisons
+// later comparisons.
+
+/// Compile-time build flavour of the *bench binary* (which links the library
+/// statically, so it is also the library's flavour in this tree).
+inline constexpr const char* kBuildType =
+#ifdef NDEBUG
+    "release";
+#else
+    "debug";
+#endif
+
+[[nodiscard]] inline bool is_release_build() { return kBuildType[0] == 'r'; }
+
+/// Git SHA baked in at configure time (bench/CMakeLists.txt); "unknown" when
+/// the tree was built outside git.  Stamped per-binary so a results file can
+/// always be traced back to the code that produced it.
+[[nodiscard]] inline const char* git_sha() {
+#ifdef UGRPC_GIT_SHA
+  return UGRPC_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+[[nodiscard]] inline unsigned host_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+[[nodiscard]] inline std::string platform_string() {
+#if defined(__unix__)
+  utsname u{};
+  if (uname(&u) == 0) {
+    return std::string(u.sysname) + "-" + u.release + "-" + u.machine;
+  }
+#endif
+  return "unknown";
+}
+
+/// Prints a hard-to-miss banner when the binary was not built Release.
+/// Numbers from a debug build are not wrong, but they are not evidence
+/// either; the banner (and the `library_build_type` field in the artifact)
+/// keeps them from being mistaken for it.
+inline void warn_if_debug(const char* prog) {
+  if (is_release_build()) return;
+  std::fprintf(stderr,
+               "%s: *** WARNING: this is a %s build ***\n"
+               "%s: numbers below do NOT reflect release performance;\n"
+               "%s: rebuild with -DCMAKE_BUILD_TYPE=Release before recording them.\n",
+               prog, kBuildType, prog, prog);
+}
+
+/// The `"environment"` JSON object (measured fields only), ready to embed:
+///   fprintf(f, "  \"environment\": %s,\n", env_json().c_str());
+[[nodiscard]] inline std::string env_json() {
+  std::string out = "{\"host_cpus\": ";
+  out += std::to_string(host_cpus());
+  out += ", \"library_build_type\": \"";
+  out += kBuildType;
+  out += "\", \"git_sha\": \"";
+  out += git_sha();
+  out += "\", \"platform\": \"";
+  out += platform_string();
+  out += "\"}";
+  return out;
+}
 
 /// Parses a full unsigned decimal string.  Rejects empty strings, signs,
 /// whitespace, trailing garbage and out-of-range values.

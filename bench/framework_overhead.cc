@@ -13,12 +13,31 @@
 //                             configuration vs a fully loaded one; the gap is
 //                             the price of the added micro-protocols
 //   * CodecNetMessage      -- encode+decode of a wire message
+//   * EventDispatch_Spans/N -- the same dispatch with span tracing attached;
+//                             the delta against EventDispatch/N is the
+//                             enabled-path cost of the profiler itself
+//
+// With `--out PATH` the binary additionally runs the fully loaded
+// configuration under span tracing and emits a per-handler cost breakdown
+// (obs::Profile) -- the framework-level companion to modularity_tax's
+// per-preset BENCH_attribution.json.
+//
+//   usage: framework_overhead [--seed N] [--calls N] [--out PATH]
+//                             [google-benchmark flags...]
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attribution.h"
+#include "bench_util.h"
 #include "core/micro/acceptance.h"
 #include "core/scenario.h"
 #include "net/message.h"
 #include "net/sim_transport.h"
+#include "obs/trace.h"
 #include "runtime/framework.h"
 
 namespace {
@@ -47,6 +66,43 @@ void BM_EventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * handlers);
 }
 BENCHMARK(BM_EventDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Same dispatch with a SiteTrace attached: every trigger opens an event-chain
+// span plus one span per handler.  The ratio to BM_EventDispatch/N is the
+// enabled-path cost of the profiler (the disabled path is a null check and is
+// covered by BM_EventDispatch itself).
+void BM_EventDispatch_Spans(benchmark::State& state) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  obs::Tracer tracer(std::size_t{1} << 16);
+  runtime::Framework fw(transport, DomainId{1});
+  fw.set_site_trace(&tracer.site(ProcessId{1}));
+  const int handlers = static_cast<int>(state.range(0));
+  for (int i = 0; i < handlers; ++i) {
+    fw.register_handler(kEvent, "h" + std::to_string(i), i,
+                        [](runtime::EventContext&) -> sim::Task<> { co_return; });
+  }
+  // Drain the span buffer before the per-site budget fills, outside the
+  // timed region; otherwise later iterations measure the exhausted path.
+  const int drain_every = (1 << 15) / (handlers + 1);
+  int since_drain = 0;
+  int arg = 0;
+  for (auto _ : state) {
+    if (++since_drain >= drain_every) {
+      state.PauseTiming();
+      tracer.clear();
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+    sched.spawn([](runtime::Framework& f, int& a) -> sim::Task<> {
+      co_await f.trigger(kEvent, runtime::EventArg::ref(a));
+    }(fw, arg));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * handlers);
+}
+BENCHMARK(BM_EventDispatch_Spans)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_TimeoutRegistration(benchmark::State& state) {
   sim::Scheduler sched;
@@ -115,4 +171,49 @@ BENCHMARK(BM_CodecNetMessage);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::uint64_t seed = 21;
+  int calls = 400;
+  std::string out;  // no attribution artifact unless asked
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--seed" && has_value && ugrpc::bench::parse_u64(argv[i + 1], seed)) {
+      ++i;
+    } else if (arg == "--calls" && has_value && ugrpc::bench::parse_count(argv[i + 1], calls)) {
+      ++i;
+    } else if (arg == "--out" && has_value) {
+      out = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  ugrpc::bench::warn_if_debug("framework_overhead");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (out.empty()) return 0;
+
+  std::uint64_t dropped = 0;
+  const obs::Profile prof = ugrpc::bench::profile_config(loaded_config(), calls, seed,
+                                                         /*num_servers=*/3, &dropped);
+  if (dropped != 0) {
+    std::fprintf(stderr, "framework_overhead: %llu spans dropped -- attribution under-counts\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+  std::vector<std::pair<std::string, std::string>> sections;
+  sections.emplace_back("fully_loaded", prof.to_json());
+  if (!ugrpc::bench::write_attribution_json(
+          out, "framework_overhead attribution",
+          "Per-handler cost breakdown of the fully loaded configuration (3 servers, sequential "
+          "simulated calls) from span tracing; companion to BENCH_attribution.json.",
+          seed, calls, sections, "configs")) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -151,6 +151,7 @@ void print_backend(std::FILE* f, const char* name, const Result& r, int calls, b
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv, /*default_seed=*/21,
                                              /*default_calls=*/2000);
+  bench::warn_if_debug("transport_loopback");
 
   std::printf("=== B-transport: group call over sim vs UDP loopback ===\n");
   std::printf("(1 server, exactly-once, %d sequential calls, seed %llu)\n\n", args.calls,
@@ -176,6 +177,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"bench\": \"transport_loopback\",\n  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(args.seed));
+    std::fprintf(f, "  \"environment\": %s,\n", bench::env_json().c_str());
     std::fprintf(f, "  \"config\": \"exactly_once, 1 server\",\n  \"backends\": {\n");
     print_backend(f, "sim", sim_res, args.calls, false);
     print_backend(f, "udp_loopback", udp_res, args.calls, true);

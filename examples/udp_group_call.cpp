@@ -9,6 +9,15 @@
 // accepted reply.
 //
 //   usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]
+//                         [--trace-out PATH] [--force-retransmit]
+//
+// --trace-out PATH enables span tracing in every process; each server child
+// writes a Perfetto fragment next to PATH, and the parent merges them with
+// its own into PATH -- a single Chrome/Perfetto-loadable JSON whose span
+// tree crosses the real process boundary (see README "Profiling a call").
+// --force-retransmit drops the first call datagram to server 1 before it
+// reaches the socket, so the trace demonstrably covers a retransmission
+// (loopback UDP never drops on its own).
 //
 // Exit status 0 iff every call completed OK with the echoed payload and
 // every server process shut down cleanly.  The CI smoke job runs
@@ -26,9 +35,12 @@
 #include <vector>
 
 #include "core/config_builder.h"
+#include "core/grpc_state.h"
 #include "core/service.h"
 #include "core/site.h"
 #include "net/udp_transport.h"
+#include "obs/perfetto.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -43,6 +55,8 @@ struct Cli {
   int servers = 2;
   int calls = 20;
   int timeout_sec = 30;
+  std::string trace_out;          ///< empty = tracing off
+  bool force_retransmit = false;  ///< drop the first call datagram to server 1
 };
 
 Cli parse(int argc, char** argv) {
@@ -53,13 +67,39 @@ Cli parse(int argc, char** argv) {
     if (arg == "--servers") cli.servers = next();
     else if (arg == "--calls") cli.calls = next();
     else if (arg == "--timeout-sec") cli.timeout_sec = next();
+    else if (arg == "--trace-out" && i + 1 < argc) cli.trace_out = argv[++i];
+    else if (arg == "--force-retransmit") cli.force_retransmit = true;
     else {
-      std::fprintf(stderr, "usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]\n");
+      std::fprintf(stderr,
+                   "usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]"
+                   " [--trace-out PATH] [--force-retransmit]\n");
       std::exit(2);
     }
   }
   if (cli.servers < 1 || cli.calls < 1 || cli.timeout_sec < 1) std::exit(2);
   return cli;
+}
+
+/// Per-process Perfetto fragment file (children write, parent merges).
+std::string fragment_path(const Cli& cli, int index) {
+  return cli.trace_out + ".frag" + std::to_string(index);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
 }
 
 void write_u16(int fd, std::uint16_t v) {
@@ -92,6 +132,11 @@ std::uint16_t read_u16(int fd) {
   known.insert(client_id);
 
   core::Site site(transport, my_id, core::ConfigBuilder::exactly_once().build(), known);
+  obs::Tracer tracer;
+  if (!cli.trace_out.empty()) {
+    transport.set_tracer(&tracer);
+    site.set_tracer(&tracer);
+  }
   write_u16(port_out_fd, transport.local_port(my_id));
   ::close(port_out_fd);
 
@@ -118,6 +163,13 @@ std::uint16_t read_u16(int fd) {
     const ssize_t n = ::read(ctl_fd, &byte, 1);  // ctl_fd is non-blocking
     if (n == 0) break;                           // EOF: parent is done
     if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) break;
+  }
+  if (!cli.trace_out.empty()) {
+    // Leave our slice of the distributed trace where the parent can find it.
+    if (!write_file(fragment_path(cli, index), obs::export_perfetto_fragment(tracer))) {
+      std::fprintf(stderr, "pid %d: cannot write trace fragment\n", getpid());
+      std::exit(1);
+    }
   }
   std::exit(0);
 }
@@ -169,6 +221,23 @@ int main(int argc, char** argv) {
   known.insert(client_id);
 
   core::Site site(transport, client_id, core::ConfigBuilder::exactly_once().build(), known);
+  obs::Tracer tracer;
+  if (!cli.trace_out.empty()) {
+    transport.set_tracer(&tracer);
+    site.set_tracer(&tracer);
+  }
+  if (cli.force_retransmit) {
+    // Drop the first call datagram to server 1 before it reaches the socket:
+    // Reliable Communication's 50 ms timer then retransmits it, and with the
+    // exactly-once preset's acceptance=ALL the call cannot complete without
+    // that retransmission -- so a trace of the run provably contains one.
+    transport.set_send_fault(
+        [dropped = false](ProcessId, ProcessId to, ProtocolId proto) mutable -> bool {
+          if (dropped || to != server_id(0) || proto != core::kGrpcProto) return false;
+          dropped = true;
+          return true;
+        });
+  }
   const std::uint16_t client_port = transport.local_port(client_id);
 
   std::vector<std::uint16_t> server_ports;
@@ -216,6 +285,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool trace_ok = true;
+  if (!cli.trace_out.empty()) {
+    // Children have exited (waitpid above), so their fragments are complete.
+    std::vector<std::string> fragments;
+    fragments.push_back(obs::export_perfetto_fragment(tracer));
+    for (int i = 0; i < cli.servers; ++i) {
+      const std::string path = fragment_path(cli, i);
+      std::string frag;
+      if (read_file(path, frag)) {
+        fragments.push_back(std::move(frag));
+      } else {
+        std::fprintf(stderr, "udp_group_call: missing trace fragment %s\n", path.c_str());
+        trace_ok = false;
+      }
+      ::unlink(path.c_str());
+    }
+    if (write_file(cli.trace_out, obs::merge_perfetto_fragments(fragments))) {
+      std::printf("udp_group_call: wrote merged trace to %s (load it in ui.perfetto.dev "
+                  "or chrome://tracing)\n",
+                  cli.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "udp_group_call: cannot write %s\n", cli.trace_out.c_str());
+      trace_ok = false;
+    }
+  }
+
   const net::Stats& stats = transport.stats();
   std::printf("udp_group_call: %d/%d calls ok (%d bad payloads) over %d server process(es)\n", ok,
               cli.calls, bad_payload, cli.servers);
@@ -228,5 +323,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.bytes_delivered));
   if (!finished) std::fprintf(stderr, "udp_group_call: client did not finish before timeout\n");
   if (!children_ok) std::fprintf(stderr, "udp_group_call: a server process exited abnormally\n");
-  return (finished && ok == cli.calls && bad_payload == 0 && children_ok) ? 0 : 1;
+  return (finished && ok == cli.calls && bad_payload == 0 && children_ok && trace_ok) ? 0 : 1;
 }

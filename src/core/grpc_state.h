@@ -107,6 +107,10 @@ struct ClientRecord {
   int nres = 0;        ///< responses still required (Acceptance)
   std::map<ProcessId, PendingServer> pending;  ///< servers yet to respond
   Status status = Status::kWaiting;
+  /// Root span of this call's trace (obs layer), opened at issue and closed
+  /// at completion; 0 when tracing is off.  Retransmission timers re-enter
+  /// the context {id, span} so late sends stay on the original trace.
+  std::uint64_t span = 0;
 };
 
 // ---- server-side table (sRPC) ----
@@ -192,6 +196,23 @@ struct GrpcState {
 
   void note(obs::Kind kind, std::uint64_t call = 0, std::uint64_t a = 0, std::uint64_t b = 0) {
     if (trace) trace->record(transport.now(), kind, call, a, b);
+  }
+
+  // ---- span helpers (all single-null-check when tracing is off) ----
+
+  [[nodiscard]] std::uint64_t span_open(obs::SpanKind kind, const obs::SpanCtx& ctx,
+                                        std::uint64_t a = 0) {
+    return trace ? trace->span_open(transport.now(), kind, 0, ctx, a) : 0;
+  }
+  void span_close(std::uint64_t id) {
+    if (trace) trace->span_close(id, transport.now());
+  }
+  /// The running fiber's current trace context ({0,0} when tracing is off).
+  [[nodiscard]] obs::SpanCtx ambient() const {
+    return trace ? trace->current(sched.current_fiber().value()) : obs::SpanCtx{};
+  }
+  void set_ambient(const obs::SpanCtx& ctx) {
+    if (trace) trace->set_current(sched.current_fiber().value(), ctx);
   }
 
   /// Reply acknowledgements queued per destination instead of sent

@@ -38,6 +38,7 @@ void Acceptance::complete(ClientRecord& rec) {
     rec.status = Status::kOk;
     state_.note(obs::Kind::kCallCompleted, rec.id.value(),
                 static_cast<std::uint64_t>(Status::kOk));
+    state_.span_close(rec.span);  // root span of the call's trace
     rec.sem.release();
   }
 }

@@ -43,6 +43,7 @@ sim::Task<> BoundedTermination::drain_expired() {
       state_.note(obs::Kind::kDeadlineExpired, id.value());
       state_.note(obs::Kind::kCallCompleted, id.value(),
                   static_cast<std::uint64_t>(Status::kTimeout));
+      state_.span_close(rec->span);  // root span closes on timeout, too
       rec->sem.release();
     }
   }

@@ -70,6 +70,7 @@ sim::Task<> ReliableCommunication::handle_timeout() {
       }
     }
   }
+  const obs::SpanCtx saved_ctx = state_.ambient();
   for (const auto& rec : scratch_) {
     net::NetMessage msg;
     msg.type = net::MsgType::kCall;
@@ -79,6 +80,10 @@ sim::Task<> ReliableCommunication::handle_timeout() {
     msg.server = rec->server;
     msg.sender = state_.my_id;
     msg.inc = state_.inc_number;
+    // Re-enter the call's own trace context: the timer fiber's ambient is
+    // the timer span, but each retransmitted datagram belongs to the call it
+    // retries, so the span tree shows the retry under the original call.
+    state_.set_ambient(obs::SpanCtx{rec->id.value(), rec->span});
     for (auto& [p, ps] : rec->pending) {
       if (ps.acked) continue;
       // Piggyback one queued reply acknowledgement on the retransmission
@@ -91,6 +96,7 @@ sim::Task<> ReliableCommunication::handle_timeout() {
       state_.note(obs::Kind::kRetransmit, rec->id.value(), p.value());
     }
   }
+  state_.set_ambient(saved_ctx);
   scratch_.clear();
   co_return;
 }

@@ -12,14 +12,15 @@ TimerWheel::TimerWheel(sim::Duration granularity) : granularity_(granularity) {
   UGRPC_ASSERT(granularity_ > 0);
 }
 
-TimerId TimerWheel::add(sim::Time deadline, std::function<void()> fn, DomainId domain) {
+TimerId TimerWheel::add(sim::Time deadline, std::function<void()> fn, DomainId domain,
+                        obs::SpanCtx ctx) {
   UGRPC_ASSERT(fn != nullptr);
   // A deadline already in the past still fires, on the next advance(): clamp
   // it so its bucket lies in the walk range [last tick, current tick].
   deadline = std::max(deadline, last_advance_);
   const TimerId id{next_timer_++};
   const std::size_t slot = slot_of(deadline);
-  slots_[slot].push_back(Entry{id, deadline, next_seq_++, domain, std::move(fn)});
+  slots_[slot].push_back(Entry{id, deadline, next_seq_++, domain, ctx, std::move(fn)});
   handles_.emplace(id, Handle{slot, std::prev(slots_[slot].end())});
   return id;
 }
@@ -71,7 +72,20 @@ void TimerWheel::advance(sim::Time now) {
   for (Entry& entry : due) {
     // Skip entries cancelled by an earlier callback of this same batch.
     if (firing_.erase(entry.id) == 0) continue;
-    entry.fn();
+    if (obs_ != nullptr && entry.ctx.active()) {
+      // Callbacks run inline (no fiber; the executor's "current fiber" is 0
+      // here), so the fiber-0 ambient slot carries the context to any sends
+      // the callback performs directly.
+      obs::SiteTrace& st = obs_->site(ProcessId{entry.domain.value()});
+      const std::uint64_t span =
+          st.span_open(now, obs::SpanKind::kWheelFire, 0, entry.ctx, entry.id.value());
+      st.set_current(0, st.ctx_of(span));
+      entry.fn();
+      st.clear_current(0);
+      st.span_close(span, now);
+    } else {
+      entry.fn();
+    }
   }
   firing_.clear();
 }

@@ -35,6 +35,7 @@
 
 #include "common/buffer.h"
 #include "common/ids.h"
+#include "obs/span.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
 #include "sim/time.h"
@@ -47,6 +48,13 @@ struct Packet {
   ProcessId dst;
   ProtocolId proto;
   Buffer payload;
+  /// Trace context propagated with the packet: {trace id, send-span id}.
+  /// Carried as metadata under SimTransport and in the wire frame (wire.h
+  /// v2) under UdpTransport; {0,0} when tracing is off.
+  obs::SpanCtx ctx;
+  /// This copy was manufactured by fault injection (duplicate delivery);
+  /// its delivery span is flagged so the trace distinguishes it.
+  bool duplicate = false;
 };
 
 /// Invoked (in a fresh fiber, in the destination's domain) for each

@@ -108,7 +108,13 @@ bool UdpTransport::process_up(ProcessId process) const {
 
 TimerId UdpTransport::schedule_after(sim::Duration delay, std::function<void()> fn,
                                      DomainId domain) {
-  return wheel_.add(now() + std::max<sim::Duration>(delay, 0), std::move(fn), domain);
+  // Capture the arming fiber's trace context so the wheel can parent the
+  // fire's span to the activity that armed the timer.
+  obs::SpanCtx ctx;
+  if (obs_ != nullptr && domain != sim::kGlobalDomain) {
+    ctx = obs_->site(ProcessId{domain.value()}).current(exec_.current_fiber().value());
+  }
+  return wheel_.add(now() + std::max<sim::Duration>(delay, 0), std::move(fn), domain, ctx);
 }
 
 void UdpTransport::cancel_timer(TimerId id) { wheel_.cancel(id); }
@@ -146,21 +152,49 @@ void UdpTransport::send_from(ProcessId src, ProcessId dst, ProtocolId proto, Buf
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
   if (obs_) obs_->site(src).record(now(), obs::Kind::kMsgSent, 0, dst.value(), proto.value());
+  // The send span's id travels in the frame (wire v2) and parents the
+  // receiving process's delivery span -- the cross-process tree edge.
+  obs::SiteTrace* st = nullptr;
+  obs::SpanCtx out_ctx;
+  std::uint64_t send_span = 0;
+  if (obs_) {
+    st = &obs_->site(src);
+    const obs::SpanCtx ambient = st->current(exec_.current_fiber().value());
+    send_span = st->span_open(now(), obs::SpanKind::kSend, 0, ambient, dst.value());
+    out_ctx = send_span != 0 ? st->ctx_of(send_span) : ambient;
+  }
+  const auto close_send = [&](bool faulted) {
+    if (st != nullptr) {
+      if (faulted) st->span_flag(send_span);
+      st->span_close(send_span, now());
+    }
+  };
   if (!src_it->second.up) {
     ++stats_.dropped;
+    close_send(true);
     return;  // crashed senders produce nothing
   }
-  WireFrame frame{src, dst, proto, src_it->second.incarnation, std::move(payload)};
+  if (send_fault_ && send_fault_(src, dst, proto)) {
+    // Deterministic loss injected by a test/example (real UDP on loopback
+    // almost never drops, so forcing a retransmission needs a hook).
+    ++stats_.dropped;
+    if (obs_) obs_->site(src).record(now(), obs::Kind::kMsgDropped, 0, dst.value(), proto.value());
+    close_send(true);
+    return;
+  }
+  WireFrame frame{src,     dst,           proto, src_it->second.incarnation,
+                  out_ctx.trace, out_ctx.parent, std::move(payload)};
   const Buffer wire = frame.encode();
   if (wire.size() > kMaxDatagram) {
     ++stats_.dropped;
     UGRPC_LOG(kWarn, "udp: frame %u->%u proto=%u exceeds %zu bytes, dropped", src.value(),
               dst.value(), proto.value(), kMaxDatagram);
+    close_send(true);
     return;
   }
-  const auto span = wire.bytes();
+  const auto bytes = wire.bytes();
   const ssize_t n =
-      ::sendto(src_it->second.fd, span.data(), span.size(), 0,
+      ::sendto(src_it->second.fd, bytes.data(), bytes.size(), 0,
                reinterpret_cast<const sockaddr*>(&dst_it->second), sizeof(dst_it->second));
   if (n < 0) {
     // A full socket buffer or a vanished peer (ECONNREFUSED from a previous
@@ -169,6 +203,7 @@ void UdpTransport::send_from(ProcessId src, ProcessId dst, ProtocolId proto, Buf
     UGRPC_LOG(kDebug, "udp: sendto %u->%u failed: %s", src.value(), dst.value(),
               std::strerror(errno));
   }
+  close_send(n < 0);
 }
 
 void UdpTransport::multicast_from(ProcessId src, GroupId group, ProtocolId proto, Buffer payload) {
@@ -218,13 +253,32 @@ void UdpTransport::dispatch_datagram(Attachment& att, std::span<const std::byte>
     obs_->site(frame->dst).record(now(), obs::Kind::kMsgDelivered, 0, frame->src.value(),
                                   frame->proto.value());
   }
+  // The delivery span parents to the sender's send span (carried in the
+  // frame) and stays open for the handler fiber, whose ambient context it
+  // becomes -- same contract as the simulated fabric.
+  const obs::SpanCtx wire_ctx{frame->trace, frame->span};
+  std::uint64_t deliver_span = 0;
+  if (obs_) {
+    deliver_span = obs_->site(frame->dst)
+                       .span_open(now(), obs::SpanKind::kDeliver, 0, wire_ctx, frame->src.value());
+  }
   // x-kernel demux: each delivery runs in a fresh fiber in the destination's
   // domain; the wrapper keeps the handler alive for the fiber's lifetime.
-  static constexpr auto invoke = [](std::shared_ptr<PacketHandler> h, Packet p) -> sim::Task<> {
+  static constexpr auto invoke = [](UdpTransport* tp, std::shared_ptr<PacketHandler> h, Packet p,
+                                    std::uint64_t span) -> sim::Task<> {
+    const ProcessId dst = p.dst;
+    obs::SiteTrace* st = tp->obs_ != nullptr ? &tp->obs_->site(dst) : nullptr;
+    const std::uint64_t fiber = tp->exec_.current_fiber().value();
+    if (st != nullptr && span != 0) st->set_current(fiber, st->ctx_of(span));
     co_await (*h)(std::move(p));
+    if (st != nullptr) {
+      st->clear_current(fiber);
+      st->span_close(span, tp->now());
+    }
   };
-  Packet packet{frame->src, frame->dst, frame->proto, std::move(frame->payload)};
-  exec_.spawn(invoke(std::move(handler), std::move(packet)), att.endpoint->domain());
+  Packet packet{frame->src, frame->dst, frame->proto, std::move(frame->payload), wire_ctx};
+  exec_.spawn(invoke(this, std::move(handler), std::move(packet), deliver_span),
+              att.endpoint->domain());
 }
 
 void UdpTransport::sync_executor() {

@@ -110,8 +110,20 @@ class UdpTransport final : public Transport {
   bool run_until_fiber_done(FiberId fiber, sim::Duration timeout);
 
   /// Records kMsgSent/kMsgDelivered/kMsgDropped/kMsgUnroutable on the local
-  /// processes' rings (steady-clock timestamps).  nullptr disables.
-  void set_tracer(obs::Tracer* tracer) { obs_ = tracer; }
+  /// processes' rings, plus send/deliver/wheel-fire spans with trace context
+  /// carried in the wire frames (wire.h v2).  nullptr disables.
+  void set_tracer(obs::Tracer* tracer) {
+    obs_ = tracer;
+    wheel_.set_tracer(tracer);
+  }
+
+  /// Deterministic loss injection: when set, each outgoing datagram is
+  /// offered to `fault` (src, dst, proto) and dropped before sendto() on
+  /// true.  Loopback UDP essentially never loses datagrams, so tests and the
+  /// udp_group_call example use this to force real retransmissions.  nullptr
+  /// removes the hook.
+  using SendFault = std::function<bool(ProcessId, ProcessId, ProtocolId)>;
+  void set_send_fault(SendFault fault) { send_fault_ = std::move(fault); }
 
  private:
   class UdpEndpoint final : public Endpoint {
@@ -160,6 +172,7 @@ class UdpTransport final : public Transport {
   std::unordered_map<ProcessId, std::uint32_t> attach_counts_;
   Stats stats_;
   obs::Tracer* obs_ = nullptr;
+  SendFault send_fault_;
 };
 
 }  // namespace ugrpc::net

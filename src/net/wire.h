@@ -12,6 +12,12 @@
 //                     seen, so a restarted sender's stale datagrams (still
 //                     queued in kernel buffers) cannot be delivered as if
 //                     from the new incarnation
+//   u64  trace        trace-context id (v2; 0 = untraced).  Group RPC calls
+//                     use the raw CallId, so one trace follows a call across
+//                     client, servers and retransmissions
+//   u64  span         sender's send-span id (v2; 0 = none); becomes the
+//                     parent of the receiver's delivery span, stitching the
+//                     cross-process span tree together
 //   raw  payload      length-prefixed opaque bytes
 //
 // Integers are little-endian (the Writer/Reader codec).  decode() is
@@ -31,10 +37,10 @@
 namespace ugrpc::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x75475250;  // "uGRP"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;  // v2: +trace/span context
 
 /// Frame header bytes before the length-prefixed payload.
-inline constexpr std::size_t kWireHeaderSize = 4 + 1 + 4 + 4 + 2 + 4;
+inline constexpr std::size_t kWireHeaderSize = 4 + 1 + 4 + 4 + 2 + 4 + 8 + 8;
 
 /// Largest datagram the transport sends or accepts.  Loopback MTU is ~64k;
 /// staying under it keeps sendto() from failing with EMSGSIZE.
@@ -45,6 +51,8 @@ struct WireFrame {
   ProcessId dst;
   ProtocolId proto;
   std::uint32_t incarnation = 0;
+  std::uint64_t trace = 0;  ///< trace-context id (0 = untraced)
+  std::uint64_t span = 0;   ///< sender's send-span id (0 = none)
   Buffer payload;
 
   [[nodiscard]] Buffer encode() const {
@@ -57,6 +65,8 @@ struct WireFrame {
     w.u32(dst.value());
     w.u16(proto.value());
     w.u32(incarnation);
+    w.u64(trace);
+    w.u64(span);
     w.raw(payload.bytes());
     return out;
   }
@@ -71,6 +81,8 @@ struct WireFrame {
       frame.dst = ProcessId{r.u32()};
       frame.proto = ProtocolId{r.u16()};
       frame.incarnation = r.u32();
+      frame.trace = r.u64();
+      frame.span = r.u64();
       frame.payload = r.raw();
       if (!r.at_end()) return std::nullopt;  // trailing garbage
       return frame;

@@ -1,0 +1,50 @@
+// Minimal JSON string escaping shared by every obs dumper (trace, metrics,
+// perfetto).  Interned names and metric keys may contain user-provided group
+// labels -- quotes, backslashes, control bytes -- which would otherwise
+// corrupt the emitted documents.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ugrpc::obs {
+
+/// `s` escaped for embedding between JSON double quotes (quotes and the
+/// enclosing string are NOT added).
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `s` as a complete JSON string literal, quotes included.
+[[nodiscard]] inline std::string json_str(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+}  // namespace ugrpc::obs

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace ugrpc::obs {
 
 std::uint64_t Histogram::quantile(double q) const {
@@ -45,7 +47,7 @@ std::string Registry::to_json() const {
   const auto emit_key = [&](const std::string& name) {
     if (!first) out += ",";
     first = false;
-    out += "\n  \"" + name + "\": ";
+    out += "\n  " + json_str(name) + ": ";
   };
   for (const auto& [name, c] : counters_) {
     emit_key(name);

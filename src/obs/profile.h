@@ -1,0 +1,86 @@
+// Span aggregation: rolls the per-call span trees collected by a Tracer into
+// per-micro-protocol latency attribution (tentpole part 3 of ISSUE 4).
+//
+// The question the paper leaves qualitative -- what does each micro-protocol
+// *cost*? -- becomes a table: for every component (the prefix of a handler
+// name before '.', e.g. "ReliableComm" from "ReliableComm.handle_new_call")
+// and every transport/framework span kind, the Profile keeps the exact
+// steady-clock samples and reports count, wall-time percentiles, and
+// *self-time* percentiles (wall minus the wall-time of child spans, clamped
+// at zero), so a component that merely awaits its children is not charged for
+// their work.
+//
+// Percentiles here are exact (samples are retained and sorted at finalize),
+// unlike the bucketed estimates of obs::Histogram -- bench attribution wants
+// real p50/p99, not power-of-two upper bounds.  export_to() additionally
+// folds self-time samples into a metrics Registry so the regular Registry
+// JSON dump carries the same attribution at bucket resolution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace ugrpc::obs {
+
+class Tracer;
+class Registry;
+
+class Profile {
+ public:
+  /// Finalized statistics of one attribution row (nanoseconds).
+  struct Stats {
+    std::uint64_t count = 0;
+    std::uint64_t wall_total = 0;
+    std::uint64_t wall_p50 = 0, wall_p95 = 0, wall_p99 = 0, wall_max = 0;
+    std::uint64_t self_total = 0;
+    std::uint64_t self_p50 = 0, self_p95 = 0, self_p99 = 0, self_max = 0;
+    /// Wall time attributed to children (wall_total - self_total).
+    [[nodiscard]] std::uint64_t children_total() const { return wall_total - self_total; }
+  };
+
+  /// Folds all closed spans of `t` in (may be called repeatedly, e.g. once
+  /// per bench iteration before Tracer::clear()).  Open spans are skipped.
+  void add(const Tracer& t);
+  /// Same, for an externally merged span set; `names` resolves name ids.
+  void add_spans(const std::vector<SpanRecord>& spans, const Tracer& names);
+
+  /// Per-micro-protocol rollup: handler and timer spans grouped by the
+  /// component prefix of their name (before the first '.').
+  [[nodiscard]] std::map<std::string, Stats> by_component() const;
+  /// Full handler-name detail rows.
+  [[nodiscard]] std::map<std::string, Stats> by_handler() const;
+  /// Transport / framework rows keyed by span kind name ("send", "deliver",
+  /// "chain", "call", "exec", ...).
+  [[nodiscard]] std::map<std::string, Stats> by_kind() const;
+
+  /// {"by_component":{...},"by_kind":{...},"by_handler":{...}} with every
+  /// Stats field spelled out (keys JSON-escaped).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Folds self-time samples into `reg` as histograms named
+  /// "span.<component>.self_ns" / "span.kind.<kind>.wall_ns", extending the
+  /// Registry JSON dump with the same attribution.
+  void export_to(Registry& reg) const;
+
+  [[nodiscard]] bool empty() const { return component_.empty() && kind_.empty(); }
+
+ private:
+  struct Samples {
+    std::vector<std::uint64_t> wall;
+    std::vector<std::uint64_t> self;
+  };
+
+  [[nodiscard]] static Stats finalize(const Samples& s);
+  [[nodiscard]] static std::map<std::string, Stats> finalize_all(
+      const std::map<std::string, Samples>& m);
+
+  std::map<std::string, Samples> component_;
+  std::map<std::string, Samples> handler_;
+  std::map<std::string, Samples> kind_;
+};
+
+}  // namespace ugrpc::obs

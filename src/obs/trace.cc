@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/json.h"
 
 namespace ugrpc::obs {
 
@@ -39,6 +40,71 @@ std::string_view kind_name(Kind k) {
     case Kind::kKindCount: break;
   }
   return "<invalid>";
+}
+
+std::string_view span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kEventChain: return "chain";
+    case SpanKind::kHandler: return "handler";
+    case SpanKind::kTimer: return "timer";
+    case SpanKind::kWheelFire: return "wheel_fire";
+    case SpanKind::kSend: return "send";
+    case SpanKind::kDeliver: return "deliver";
+    case SpanKind::kCall: return "call";
+    case SpanKind::kExec: return "exec";
+    case SpanKind::kSpanKindCount: break;
+  }
+  return "<invalid>";
+}
+
+std::uint64_t SiteTrace::span_open(sim::Time t, SpanKind kind, std::uint32_t name,
+                                   const SpanCtx& ctx, std::uint64_t a) {
+  if (spans_.size() >= span_capacity_) {
+    ++spans_dropped_;
+    return 0;
+  }
+  // (site << 32 | tracer-global seq): unique across every site of this tracer
+  // AND across OS processes (sites are disjoint between forked processes), so
+  // multi-process Perfetto fragments merge without id collisions.
+  const std::uint64_t id = (static_cast<std::uint64_t>(site_.value()) << 32) |
+                           (tracer_.next_span_seq_++ & 0xFFFFFFFFu);
+  SpanRecord rec;
+  rec.id = id;
+  rec.trace = ctx.trace;
+  rec.parent = ctx.parent;
+  rec.begin = t;
+  rec.ns_begin = steady_ns();
+  rec.site = site_;
+  rec.kind = kind;
+  rec.name = name;
+  rec.a = a;
+  open_.emplace(id, spans_.size());
+  spans_.push_back(rec);
+  return id;
+}
+
+void SiteTrace::span_close(std::uint64_t id, sim::Time t) {
+  if (id == 0) return;
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  SpanRecord& rec = spans_[it->second];
+  rec.end = t;
+  rec.ns_end = steady_ns();
+  if (rec.ns_end == rec.ns_begin) rec.ns_end = rec.ns_begin + 1;  // open() sentinel is 0-width
+  open_.erase(it);
+}
+
+void SiteTrace::span_flag(std::uint64_t id) {
+  if (id == 0) return;
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  spans_[it->second].flagged = true;
+}
+
+SpanCtx SiteTrace::ctx_of(std::uint64_t id) const {
+  auto it = open_.find(id);
+  if (it != open_.end()) return SpanCtx{spans_[it->second].trace, id};
+  return SpanCtx{0, id};
 }
 
 Tracer::Tracer(std::size_t per_site_capacity) : capacity_(per_site_capacity) {
@@ -98,6 +164,23 @@ std::uint64_t Tracer::total_dropped() const {
   return total;
 }
 
+std::vector<SpanRecord> Tracer::merged_spans() const {
+  std::vector<SpanRecord> out;
+  for (const auto& [id, site] : sites_) {
+    out.insert(out.end(), site->spans().begin(), site->spans().end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& x, const SpanRecord& y) {
+    return (x.id & 0xFFFFFFFFu) < (y.id & 0xFFFFFFFFu);
+  });
+  return out;
+}
+
+std::uint64_t Tracer::total_spans_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, site] : sites_) total += site->spans_dropped();
+  return total;
+}
+
 std::string Tracer::dump_json() const {
   std::string out = "[";
   bool first = true;
@@ -110,7 +193,7 @@ std::string Tracer::dump_json() const {
     if (e.call != 0) out += ",\"call\":" + std::to_string(e.call);
     if (e.a != 0) out += ",\"a\":" + std::to_string(e.a);
     if (e.b != 0) out += ",\"b\":" + std::to_string(e.b);
-    if (e.name != 0) out += ",\"name\":\"" + name(e.name) + "\"";
+    if (e.name != 0) out += ",\"name\":" + json_str(name(e.name));
     out += "}";
   }
   out += "\n]";
@@ -124,8 +207,13 @@ void Tracer::clear() {
     site->head_ = 0;
     site->count_ = 0;
     site->dropped_ = 0;
+    site->spans_.clear();
+    site->open_.clear();
+    site->spans_dropped_ = 0;
+    site->fiber_ctx_.clear();
   }
   next_seq_ = 1;
+  next_span_seq_ = 1;
   for (auto& c : counts_) c = 0;
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/span.h"
 #include "sim/time.h"
 
 namespace ugrpc::obs {
@@ -117,10 +118,47 @@ class SiteTrace {
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] ProcessId site() const { return site_; }
 
+  // ---- spans (performance tracing; span.h) ----
+
+  /// Opens a span at transport time `t` under context `ctx` (trace inherited
+  /// from ctx; parent = ctx.parent).  Returns the span id, or 0 when the
+  /// per-site span budget is exhausted (close(0) is a no-op, so callers need
+  /// no extra branch).  Also stamps the steady clock for cost attribution.
+  [[nodiscard]] std::uint64_t span_open(sim::Time t, SpanKind kind, std::uint32_t name,
+                                        const SpanCtx& ctx, std::uint64_t a = 0);
+  /// Closes an open span; no-op for id 0 or an unknown/already-closed id.
+  void span_close(std::uint64_t id, sim::Time t);
+  /// Marks a span (e.g. the delivery of a duplicated packet).
+  void span_flag(std::uint64_t id);
+  /// The context a child of `id` should run under ({trace-of-id, id});
+  /// {0, id} when `id` is unknown (the link is still recorded).
+  [[nodiscard]] SpanCtx ctx_of(std::uint64_t id) const;
+
+  /// All spans recorded so far (open ones have end == -1), in open order.
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  // ---- ambient per-fiber context ----
+  //
+  // Which trace the code currently running in a fiber belongs to.  The
+  // framework saves/sets/restores this around handler invocations, the
+  // transports read it at send time to stamp outgoing frames, and delivery /
+  // timer wrappers seed it for fresh fibers.  Keyed per fiber because the
+  // cooperative scheduler interleaves fibers at suspension points -- one
+  // site-global "current" would be clobbered by whichever fiber ran last.
+
+  [[nodiscard]] SpanCtx current(std::uint64_t fiber) const {
+    auto it = fiber_ctx_.find(fiber);
+    return it != fiber_ctx_.end() ? it->second : SpanCtx{};
+  }
+  void set_current(std::uint64_t fiber, const SpanCtx& ctx) { fiber_ctx_[fiber] = ctx; }
+  /// Reclaims a finished fiber's entry (delivery/timer wrappers call this).
+  void clear_current(std::uint64_t fiber) { fiber_ctx_.erase(fiber); }
+
  private:
   friend class Tracer;
   SiteTrace(Tracer& tracer, ProcessId site, std::size_t capacity)
-      : tracer_(tracer), site_(site), ring_(capacity) {}
+      : tracer_(tracer), site_(site), ring_(capacity), span_capacity_(capacity) {}
 
   Tracer& tracer_;
   ProcessId site_;
@@ -128,6 +166,12 @@ class SiteTrace {
   std::size_t head_ = 0;   ///< next write position
   std::size_t count_ = 0;  ///< live entries (<= capacity)
   std::uint64_t dropped_ = 0;
+
+  std::size_t span_capacity_;
+  std::vector<SpanRecord> spans_;  ///< append-only up to span_capacity_
+  std::unordered_map<std::uint64_t, std::size_t> open_;  ///< span id -> index
+  std::uint64_t spans_dropped_ = 0;
+  std::unordered_map<std::uint64_t, SpanCtx> fiber_ctx_;
 };
 
 /// The per-experiment trace collector: a registry of per-site rings, a
@@ -150,6 +194,11 @@ class Tracer {
   /// All retained events of all sites merged into one history, ordered by
   /// sequence number (a causal total order in the deterministic simulator).
   [[nodiscard]] std::vector<Event> merged() const;
+
+  /// All spans of all sites, ordered by open sequence (low 32 bits of id).
+  [[nodiscard]] std::vector<SpanRecord> merged_spans() const;
+  /// Spans discarded because a site hit its span budget.
+  [[nodiscard]] std::uint64_t total_spans_dropped() const;
 
   /// Events recorded per kind since construction/clear (not capped by ring
   /// capacity -- these are exact counters).
@@ -174,6 +223,7 @@ class Tracer {
   std::vector<std::string> names_;  ///< names_[0] == ""
   std::unordered_map<std::string, std::uint32_t> name_ids_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t next_span_seq_ = 1;  ///< low 32 bits of span ids
   std::uint64_t counts_[kKindCount] = {};
 };
 

@@ -76,23 +76,54 @@ sim::Task<bool> Framework::trigger(EventId event, EventArg arg) {
   // *during* this trigger do not run in it (they land in a new snapshot),
   // and deregistered ones are skipped via the liveness check below.
   std::shared_ptr<const Chain> chain = chain_for(event);
-  if (site_trace_) {
-    site_trace_->record(transport_.now(), obs::Kind::kEventTriggered, 0, event.value(), 0,
-                        site_trace_->intern(event_name(event)));
+  // Span bookkeeping: one kEventChain span for the whole invocation, one
+  // kHandler span per handler, threaded through the running fiber's ambient
+  // context so sends and nested triggers parent correctly.  The ambient is
+  // saved/restored because triggers re-enter on the same fiber (a handler
+  // that triggers another event) and the caller's context must survive.
+  obs::SiteTrace* const st = site_trace_;
+  std::uint64_t fiber = 0;
+  std::uint64_t chain_span = 0;
+  obs::SpanCtx saved;
+  obs::SpanCtx chain_ctx;
+  if (st) {
+    st->record(transport_.now(), obs::Kind::kEventTriggered, 0, event.value(), 0,
+               st->intern(event_name(event)));
+    fiber = transport_.executor().current_fiber().value();
+    saved = st->current(fiber);
+    chain_span = st->span_open(transport_.now(), obs::SpanKind::kEventChain,
+                               st->intern(event_name(event)), saved, event.value());
+    chain_ctx = chain_span != 0 ? st->ctx_of(chain_span) : saved;
+    st->set_current(fiber, chain_ctx);
   }
+  const auto finish = [&](bool completed) {
+    if (st) {
+      st->span_close(chain_span, transport_.now());
+      st->set_current(fiber, saved);
+    }
+    return completed;
+  };
   EventContext ctx(arg);
   for (const RegistrationPtr& reg : *chain) {
     if (!by_id_.contains(reg->id)) continue;  // deregistered mid-event
     if (trace_) trace_(transport_.now(), event_name(event), reg->name);
-    if (site_trace_) {
-      site_trace_->record(transport_.now(), obs::Kind::kEventHandled, 0, event.value(),
-                          static_cast<std::uint64_t>(reg->priority),
-                          site_trace_->intern(reg->name));
+    std::uint64_t handler_span = 0;
+    if (st) {
+      st->record(transport_.now(), obs::Kind::kEventHandled, 0, event.value(),
+                 static_cast<std::uint64_t>(reg->priority), st->intern(reg->name));
+      handler_span = st->span_open(transport_.now(), obs::SpanKind::kHandler,
+                                   st->intern(reg->name), chain_ctx,
+                                   static_cast<std::uint64_t>(reg->priority));
+      if (handler_span != 0) st->set_current(fiber, st->ctx_of(handler_span));
     }
     co_await reg->fn(ctx);
-    if (ctx.cancelled()) co_return false;
+    if (st) {
+      st->span_close(handler_span, transport_.now());
+      st->set_current(fiber, chain_ctx);
+    }
+    if (ctx.cancelled()) co_return finish(false);
   }
-  co_return true;
+  co_return finish(true);
 }
 
 TimerId Framework::register_timeout(std::string name, sim::Duration delay, TimeoutHandler fn) {
@@ -104,19 +135,42 @@ TimerId Framework::register_timeout(std::string name, sim::Duration delay, Timeo
   // The wrapper coroutine keeps the handler object alive for as long as the
   // handler body runs: coroutine parameters are copied into the frame,
   // whereas the closure that a std::function invocation runs on is not.
-  static constexpr auto invoke = [](std::shared_ptr<TimeoutHandler> f) -> sim::Task<> {
+  // It also opens the timer's kTimer span, parented to the context that
+  // *armed* it (captured below), and makes it the handler fiber's ambient
+  // context -- so a retransmission timer's sends stay on the call's trace.
+  // The wrapper captures the transport and the site trace rather than the
+  // framework: both outlive any fiber of this domain, the framework may not.
+  static constexpr auto invoke = [](net::Transport* tp, obs::SiteTrace* st,
+                                    std::shared_ptr<TimeoutHandler> f, obs::SpanCtx armed,
+                                    std::uint32_t name_id) -> sim::Task<> {
+    std::uint64_t span = 0;
+    std::uint64_t fiber = 0;
+    if (st != nullptr) {
+      fiber = tp->executor().current_fiber().value();
+      span = st->span_open(tp->now(), obs::SpanKind::kTimer, name_id, armed);
+      if (span != 0) st->set_current(fiber, st->ctx_of(span));
+    }
     co_await (*f)();
+    if (st != nullptr) {
+      st->clear_current(fiber);
+      st->span_close(span, tp->now());
+    }
   };
   const std::uint32_t name_id = site_trace_ ? site_trace_->intern(name) : 0;
+  obs::SpanCtx armed_ctx;
+  if (site_trace_) {
+    armed_ctx = site_trace_->current(transport_.executor().current_fiber().value());
+  }
   const TimerId id = transport_.schedule_after(
       delay,
-      [this, shared_fn, name = std::move(name), name_id]() {
+      [this, shared_fn, name = std::move(name), name_id, armed_ctx]() {
         if (site_trace_) {
           // The fired timer id is unknown inside the callback (schedule_after
           // assigns it after capture); the name identifies the timer class.
           site_trace_->record(transport_.now(), obs::Kind::kTimerFired, 0, 0, 0, name_id);
         }
-        transport_.spawn(invoke(shared_fn), domain_);
+        transport_.spawn(invoke(&transport_, site_trace_, shared_fn, armed_ctx, name_id),
+                         domain_);
       },
       domain_);
   // Fired timers linger in this set until cancel/destruction; cancelling an

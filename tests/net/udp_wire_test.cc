@@ -57,6 +57,25 @@ TEST(UdpWire, EncodedSizeMatchesHeaderConstant) {
   EXPECT_EQ(f.encode().size(), kWireHeaderSize + 4 + f.payload.size());
 }
 
+TEST(UdpWire, TraceContextRoundTrips) {
+  // Wire v2: the frame carries the sender's span context so distributed
+  // span trees cross the process boundary (obs/span.h).
+  WireFrame f = sample_frame();
+  f.trace = 0x123456789abcdef0ULL;
+  f.span = 0xfedcba9876543210ULL;
+  const auto decoded = WireFrame::decode(f.encode().bytes());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace, 0x123456789abcdef0ULL);
+  EXPECT_EQ(decoded->span, 0xfedcba9876543210ULL);
+}
+
+TEST(UdpWire, UntracedFrameCarriesZeroContext) {
+  const auto decoded = WireFrame::decode(sample_frame().encode().bytes());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace, 0u);
+  EXPECT_EQ(decoded->span, 0u);
+}
+
 std::vector<std::byte> bytes_of(const Buffer& b) {
   const auto view = b.bytes();
   return {view.begin(), view.end()};

@@ -63,5 +63,17 @@ TEST(Registry, StableReferencesAndJson) {
   EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
 }
 
+TEST(Registry, JsonEscapesHostileMetricNames) {
+  // Metric names may embed user-provided labels (e.g. group names); a quote
+  // or control character in one must not corrupt the JSON document.
+  Registry reg;
+  reg.counter("evil\"name\\group\n").add(1);
+  reg.histogram("hist\twith\ttabs").add(5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("evil\\\"name\\\\group\\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("hist\\twith\\ttabs"), std::string::npos) << json;
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos) << "unescaped quote leaked";
+}
+
 }  // namespace
 }  // namespace ugrpc::obs

@@ -1,0 +1,407 @@
+// Span correctness (ISSUE 4): nesting and parenting under re-entrant event
+// dispatch, cross-process context propagation over UdpTransport (including
+// dropped-then-retransmitted and duplicated packets), budget exhaustion,
+// clear() reset, the disabled path, and Perfetto-export escaping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/config_builder.h"
+#include "core/scenario.h"
+#include "net/sim_transport.h"
+#include "net/udp_transport.h"
+#include "obs/perfetto.h"
+#include "obs/trace.h"
+#include "runtime/framework.h"
+
+namespace ugrpc {
+namespace {
+
+using obs::SpanCtx;
+using obs::SpanKind;
+using obs::SpanRecord;
+
+// ---- helpers ----
+
+std::vector<SpanRecord> run_traced_call(obs::Tracer& tracer, core::Config config,
+                                        net::FaultSpec faults = {}) {
+  core::ScenarioParams p;
+  p.num_servers = 3;
+  p.config = std::move(config);
+  p.faults = faults;
+  p.tracer = &tracer;
+  core::Scenario s(std::move(p));
+  s.run_client(0, [&](core::Client& c) -> sim::Task<> {
+    const core::CallResult r = co_await c.call(s.group(), OpId{1}, Buffer{});
+    EXPECT_TRUE(r.ok());
+  });
+  // Drain in-flight traffic (e.g. a duplicated reply whose original is still
+  // in transit when the call completes) so the span set is complete.
+  s.run_until_quiescent();
+  return tracer.merged_spans();
+}
+
+const SpanRecord* find_by_id(const std::vector<SpanRecord>& spans, std::uint64_t id) {
+  for (const SpanRecord& s : spans) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const SpanRecord*> of_kind(const std::vector<SpanRecord>& spans, SpanKind kind) {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& s : spans) {
+    if (s.kind == kind) out.push_back(&s);
+  }
+  return out;
+}
+
+// ---- call-trace structure in the simulator ----
+
+TEST(Span, CallSpanRootsItsOwnTrace) {
+  obs::Tracer tracer;
+  const auto spans = run_traced_call(tracer, core::ConfigBuilder::exactly_once().build());
+  const auto calls = of_kind(spans, SpanKind::kCall);
+  ASSERT_EQ(calls.size(), 1u);
+  const SpanRecord& call = *calls.front();
+  EXPECT_EQ(call.trace, call.a) << "trace id must be the call id";
+  EXPECT_NE(call.trace, 0u);
+  EXPECT_FALSE(call.open()) << "completion must close the root span";
+  EXPECT_GE(call.wall_ns(), 1u);
+}
+
+TEST(Span, HandlerSpansParentToTheirEventChain) {
+  obs::Tracer tracer;
+  const auto spans = run_traced_call(tracer, core::ConfigBuilder::exactly_once().build());
+  const auto handlers = of_kind(spans, SpanKind::kHandler);
+  ASSERT_FALSE(handlers.empty());
+  for (const SpanRecord* h : handlers) {
+    ASSERT_NE(h->parent, 0u);
+    const SpanRecord* parent = find_by_id(spans, h->parent);
+    ASSERT_NE(parent, nullptr) << "handler parent must be recorded";
+    EXPECT_EQ(parent->kind, SpanKind::kEventChain);
+    EXPECT_EQ(parent->site, h->site) << "a handler runs on its chain's site";
+    EXPECT_EQ(parent->trace, h->trace);
+  }
+}
+
+TEST(Span, DeliverSpansParentToSendSpansAcrossSites) {
+  obs::Tracer tracer;
+  const auto spans = run_traced_call(tracer, core::ConfigBuilder::exactly_once().build());
+  const auto delivers = of_kind(spans, SpanKind::kDeliver);
+  ASSERT_FALSE(delivers.empty());
+  int cross_site = 0;
+  for (const SpanRecord* d : delivers) {
+    if (d->parent == 0) continue;  // untraced background traffic
+    const SpanRecord* parent = find_by_id(spans, d->parent);
+    ASSERT_NE(parent, nullptr) << "deliver parent (the send span) must be recorded";
+    EXPECT_EQ(parent->kind, SpanKind::kSend);
+    EXPECT_EQ(parent->trace, d->trace) << "the send's context travels with the packet";
+    if (parent->site != d->site) ++cross_site;
+  }
+  EXPECT_GT(cross_site, 0) << "client->server hops must link across sites";
+}
+
+TEST(Span, EveryParentLinkResolvesAndNests) {
+  obs::Tracer tracer;
+  const auto spans = run_traced_call(tracer, core::ConfigBuilder::at_most_once().build());
+  ASSERT_FALSE(spans.empty());
+  int resolved = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.parent == 0) continue;
+    const SpanRecord* parent = find_by_id(spans, s.parent);
+    ASSERT_NE(parent, nullptr) << "dangling parent id " << s.parent;
+    EXPECT_NE(parent->id, s.id);
+    EXPECT_LE(parent->ns_begin, s.ns_begin) << "a child cannot begin before its parent";
+    ++resolved;
+  }
+  EXPECT_GT(resolved, 0);
+}
+
+// ---- re-entrant dispatch ----
+
+TEST(Span, ReentrantTriggerNestsInnerChainUnderOuterHandler) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::SimTransport transport{net};
+  runtime::Framework fw{transport, DomainId{1}};
+  obs::Tracer tracer;
+  fw.set_site_trace(&tracer.site(ProcessId{1}));
+  constexpr runtime::EventId kOuter{1};
+  constexpr runtime::EventId kInner{2};
+  fw.define_event(kOuter, "OUTER");
+  fw.define_event(kInner, "INNER");
+  fw.register_handler(kInner, "Inner.h", [](runtime::EventContext&) -> sim::Task<> { co_return; });
+  fw.register_handler(kOuter, "Outer.h", [&fw](runtime::EventContext&) -> sim::Task<> {
+    int x = 0;
+    co_await fw.trigger(kInner, runtime::EventArg::ref(x));
+  });
+  int arg = 0;
+  sched.spawn([](runtime::Framework& f, int& a) -> sim::Task<> {
+    co_await f.trigger(runtime::EventId{1}, runtime::EventArg::ref(a));
+  }(fw, arg));
+  sched.run();
+
+  const auto spans = tracer.merged_spans();
+  const SpanRecord* outer_chain = nullptr;
+  const SpanRecord* inner_chain = nullptr;
+  const SpanRecord* outer_handler = nullptr;
+  const SpanRecord* inner_handler = nullptr;
+  for (const SpanRecord& s : spans) {
+    const std::string& name = tracer.name(s.name);
+    if (s.kind == SpanKind::kEventChain && name == "OUTER") outer_chain = &s;
+    if (s.kind == SpanKind::kEventChain && name == "INNER") inner_chain = &s;
+    if (s.kind == SpanKind::kHandler && name == "Outer.h") outer_handler = &s;
+    if (s.kind == SpanKind::kHandler && name == "Inner.h") inner_handler = &s;
+  }
+  ASSERT_NE(outer_chain, nullptr);
+  ASSERT_NE(inner_chain, nullptr);
+  ASSERT_NE(outer_handler, nullptr);
+  ASSERT_NE(inner_handler, nullptr);
+  EXPECT_EQ(outer_handler->parent, outer_chain->id);
+  EXPECT_EQ(inner_chain->parent, outer_handler->id)
+      << "a trigger from inside a handler must nest under that handler";
+  EXPECT_EQ(inner_handler->parent, inner_chain->id);
+  EXPECT_FALSE(outer_chain->open());
+  EXPECT_FALSE(inner_chain->open());
+}
+
+// ---- faults: duplicates and retransmissions stay on the original trace ----
+
+TEST(Span, DuplicatedPacketsAreFlaggedAndKeepTheOriginalContext) {
+  obs::Tracer tracer;
+  net::FaultSpec faults;
+  faults.dup_prob = 1.0;  // every delivery happens twice
+  const auto spans = run_traced_call(tracer, core::ConfigBuilder::exactly_once().build(), faults);
+  const auto delivers = of_kind(spans, SpanKind::kDeliver);
+  std::vector<const SpanRecord*> flagged;
+  for (const SpanRecord* d : delivers) {
+    if (d->flagged) flagged.push_back(d);
+  }
+  ASSERT_FALSE(flagged.empty()) << "dup_prob=1 must flag duplicate deliveries";
+  for (const SpanRecord* dup : flagged) {
+    // The duplicate carries the same wire context as the original delivery:
+    // same trace, same send-span parent -- and the original is not flagged.
+    const auto twin = std::find_if(delivers.begin(), delivers.end(), [&](const SpanRecord* d) {
+      return !d->flagged && d->parent == dup->parent && d->site == dup->site;
+    });
+    if (twin == delivers.end()) {
+      std::string diag = "dup id=" + std::to_string(dup->id) + " parent=" +
+                         std::to_string(dup->parent) + " site=" + std::to_string(dup->site.value()) +
+                         " trace=" + std::to_string(dup->trace) + "\nall delivers:\n";
+      for (const SpanRecord* d : delivers) {
+        diag += "  id=" + std::to_string(d->id) + " parent=" + std::to_string(d->parent) +
+                " site=" + std::to_string(d->site.value()) + " trace=" + std::to_string(d->trace) +
+                " flagged=" + std::to_string(d->flagged) + " open=" + std::to_string(d->open()) +
+                "\n";
+      }
+      ADD_FAILURE() << "duplicate without an original delivery\n" << diag;
+      continue;
+    }
+    EXPECT_EQ((*twin)->trace, dup->trace);
+  }
+}
+
+TEST(Span, RetransmissionsJoinTheOriginalCallTrace) {
+  obs::Tracer tracer;
+  // Deterministic retransmission without loss: every link delay exceeds the
+  // 50 ms retransmission timeout, so Reliable Communication always re-sends
+  // before the first acknowledgement can arrive.
+  net::FaultSpec faults;
+  faults.min_delay = sim::msec(60);
+  faults.max_delay = sim::msec(60);
+  const auto spans = run_traced_call(tracer, core::ConfigBuilder::exactly_once().build(), faults);
+  const auto calls = of_kind(spans, SpanKind::kCall);
+  ASSERT_EQ(calls.size(), 1u);
+  const SpanRecord& call = *calls.front();
+  // Retransmitted datagrams re-enter the call's context from the timer
+  // fiber, so like the initial multicast they parent directly to the root
+  // call span.  The initial multicast accounts for exactly 3 such sends
+  // (one per server); anything beyond that is a retransmission.
+  int call_rooted_sends = 0;
+  for (const SpanRecord* s : of_kind(spans, SpanKind::kSend)) {
+    if (s->parent == call.id && s->trace == call.trace) ++call_rooted_sends;
+  }
+  EXPECT_GT(call_rooted_sends, 3) << "delay > retrans timeout must force a retransmission";
+  // And a timer span fired on the client on some trace-carrying context.
+  EXPECT_FALSE(of_kind(spans, SpanKind::kTimer).empty());
+}
+
+// ---- UDP propagation ----
+
+/// Two UDP transports ("hosts") sharing one collector, cross-introduced.
+struct UdpPair {
+  obs::Tracer tracer;
+  net::UdpTransport ta;
+  net::UdpTransport tb;
+  net::Endpoint& a;
+  net::Endpoint& b;
+  std::vector<net::Packet> received;
+
+  static constexpr ProcessId kA{1};
+  static constexpr ProcessId kB{2};
+  static constexpr ProtocolId kProto{7};
+
+  UdpPair() : a(ta.attach(kA, DomainId{1})), b(tb.attach(kB, DomainId{2})) {
+    ta.set_tracer(&tracer);
+    tb.set_tracer(&tracer);
+    ta.add_peer(kB, "127.0.0.1", tb.local_port(kB));
+    tb.add_peer(kA, "127.0.0.1", ta.local_port(kA));
+    b.set_handler(kProto, [this](net::Packet p) -> sim::Task<> {
+      received.push_back(std::move(p));
+      co_return;
+    });
+  }
+
+  bool drive_until_received(std::size_t n) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (received.size() < n) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      ta.poll_once(sim::usec(500));
+      tb.poll_once(0);
+    }
+    return true;
+  }
+};
+
+TEST(Span, UdpCarriesContextAcrossTheWire) {
+  UdpPair pair;
+  // The sending "fiber" (the test thread, fiber 0) works on trace 77.
+  pair.tracer.site(UdpPair::kA).set_current(0, SpanCtx{77, 5});
+  Buffer payload;
+  Writer(payload).u32(0xabcd);
+  pair.a.send(UdpPair::kB, UdpPair::kProto, payload);
+  ASSERT_TRUE(pair.drive_until_received(1));
+
+  // The receiver's packet metadata carries {trace, send-span} -- not the
+  // sender's own parent: the wire context is re-rooted at the send span.
+  const auto spans = pair.tracer.merged_spans();
+  const auto sends = of_kind(spans, SpanKind::kSend);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0]->trace, 77u);
+  EXPECT_EQ(sends[0]->parent, 5u);
+  EXPECT_EQ(pair.received.at(0).ctx.trace, 77u);
+  EXPECT_EQ(pair.received.at(0).ctx.parent, sends[0]->id);
+
+  const auto delivers = of_kind(spans, SpanKind::kDeliver);
+  ASSERT_EQ(delivers.size(), 1u);
+  EXPECT_EQ(delivers[0]->trace, 77u);
+  EXPECT_EQ(delivers[0]->parent, sends[0]->id);
+  EXPECT_EQ(delivers[0]->site, UdpPair::kB);
+}
+
+TEST(Span, UdpDroppedSendIsFlaggedAndRetransmitJoinsTrace) {
+  UdpPair pair;
+  int drops_left = 1;
+  pair.ta.set_send_fault([&drops_left](ProcessId, ProcessId, ProtocolId) {
+    return drops_left-- > 0;  // swallow exactly the first datagram
+  });
+  pair.tracer.site(UdpPair::kA).set_current(0, SpanCtx{99, 0});
+  Buffer payload;
+  Writer(payload).u32(1);
+  pair.a.send(UdpPair::kB, UdpPair::kProto, payload);  // dropped
+  pair.a.send(UdpPair::kB, UdpPair::kProto, payload);  // "retransmission"
+  ASSERT_TRUE(pair.drive_until_received(1));
+  EXPECT_EQ(pair.ta.stats().dropped, 1u);
+
+  const auto spans = pair.tracer.merged_spans();
+  const auto sends = of_kind(spans, SpanKind::kSend);
+  ASSERT_EQ(sends.size(), 2u);
+  const SpanRecord* dropped = sends[0]->flagged ? sends[0] : sends[1];
+  const SpanRecord* resent = sends[0]->flagged ? sends[1] : sends[0];
+  EXPECT_TRUE(dropped->flagged) << "the swallowed datagram's send span must be flagged";
+  EXPECT_FALSE(resent->flagged);
+  EXPECT_EQ(dropped->trace, 99u);
+  EXPECT_EQ(resent->trace, 99u) << "the retransmission stays on the original trace";
+  const auto delivers = of_kind(spans, SpanKind::kDeliver);
+  ASSERT_EQ(delivers.size(), 1u);
+  EXPECT_EQ(delivers[0]->trace, 99u);
+  EXPECT_EQ(delivers[0]->parent, resent->id);
+}
+
+// ---- lifecycle: budget, clear, disabled path ----
+
+TEST(Span, BudgetExhaustionDropsNewSpansGracefully) {
+  obs::Tracer tracer(/*per_site_capacity=*/4);
+  obs::SiteTrace& st = tracer.site(ProcessId{9});
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t id = st.span_open(sim::Time{i}, SpanKind::kHandler, 0, SpanCtx{1, 0});
+    EXPECT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  const std::uint64_t overflow = st.span_open(sim::Time{5}, SpanKind::kHandler, 0, SpanCtx{1, 0});
+  EXPECT_EQ(overflow, 0u);
+  EXPECT_EQ(st.spans_dropped(), 1u);
+  st.span_close(0, sim::Time{6});  // no-op by contract: callers never branch
+  st.span_flag(0);
+  for (const std::uint64_t id : ids) st.span_close(id, sim::Time{7});
+  EXPECT_EQ(st.spans().size(), 4u);
+  for (const SpanRecord& s : st.spans()) EXPECT_FALSE(s.open());
+}
+
+TEST(Span, ClearResetsSpansAndAmbientContexts) {
+  obs::Tracer tracer;
+  (void)run_traced_call(tracer, core::ConfigBuilder::at_least_once().build());
+  ASSERT_FALSE(tracer.merged_spans().empty());
+  obs::SiteTrace& client = tracer.site(ProcessId{4});
+  client.set_current(123, SpanCtx{1, 2});
+  tracer.clear();
+  EXPECT_TRUE(tracer.merged_spans().empty());
+  EXPECT_EQ(tracer.total_spans_dropped(), 0u);
+  EXPECT_FALSE(client.current(123).active()) << "clear() must wipe fiber contexts";
+  // The collector is reusable after clear(): ids restart from a fresh seq.
+  const std::uint64_t id = client.span_open(sim::Time{1}, SpanKind::kSend, 0, SpanCtx{1, 0});
+  EXPECT_NE(id, 0u);
+  client.span_close(id, sim::Time{2});
+  EXPECT_EQ(client.spans().size(), 1u);
+}
+
+TEST(Span, DisabledPathRecordsNothingAndPreservesBehaviour) {
+  // Identical workload with and without a tracer: same result, and the
+  // traced run's spans do not alter scheduling (same completion status).
+  core::ScenarioParams p1;
+  p1.config = core::ConfigBuilder::exactly_once().build();
+  core::Scenario untraced(std::move(p1));
+  core::CallResult r1;
+  untraced.run_client(0, [&](core::Client& c) -> sim::Task<> {
+    r1 = co_await c.call(untraced.group(), OpId{1}, Buffer{});
+  });
+
+  obs::Tracer tracer;
+  core::ScenarioParams p2;
+  p2.config = core::ConfigBuilder::exactly_once().build();
+  p2.tracer = &tracer;
+  core::Scenario traced(std::move(p2));
+  core::CallResult r2;
+  traced.run_client(0, [&](core::Client& c) -> sim::Task<> {
+    r2 = co_await c.call(traced.group(), OpId{1}, Buffer{});
+  });
+
+  EXPECT_TRUE(r1.ok());
+  EXPECT_TRUE(r2.ok());
+  EXPECT_EQ(r1.status, r2.status);
+  EXPECT_FALSE(tracer.merged_spans().empty());
+}
+
+// ---- export escaping ----
+
+TEST(Span, PerfettoExportEscapesHostileNames) {
+  obs::Tracer tracer;
+  obs::SiteTrace& st = tracer.site(ProcessId{1});
+  const std::uint32_t evil = st.intern("evil\"name\\with\nnewline");
+  const std::uint64_t id = st.span_open(sim::Time{1}, SpanKind::kHandler, evil, SpanCtx{1, 0});
+  st.span_close(id, sim::Time{2});
+  const std::string json = obs::export_perfetto(tracer);
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnewline"), std::string::npos)
+      << "quotes, backslashes and control characters must be escaped";
+  // No raw control characters may survive inside the document.
+  for (const char c : json) EXPECT_NE(c, '\r');
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos) << "unescaped quote leaked";
+}
+
+}  // namespace
+}  // namespace ugrpc

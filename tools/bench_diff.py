@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold PCT] [--advisory]
+
+Walks both JSON trees and compares every numeric metric present in both
+(matched by path).  A metric's direction is inferred from its key name:
+latency-style keys (``*_ns``, ``*_us``, ``*_ms``, ``p50``/``p95``/``p99``,
+``*_max``, ``*_total``) regress when they grow, throughput-style keys
+(``*per_sec``) regress when they shrink.  Keys that describe the run rather
+than measure it (seed, date, environment, counts -- including workload-scale
+counts like ``ok`` -- span/trace ids) are ignored, so runs of different
+lengths stay comparable on their rates and percentiles.
+
+Exits 1 when any metric regressed by more than ``--threshold`` percent
+(default 20), unless ``--advisory`` is given, in which case regressions are
+reported but the exit status is 0.  Exits 2 on usage or file errors.
+
+Bench numbers from shared CI runners are noisy; the default threshold is
+deliberately loose, and the CI wiring runs in advisory mode.  The tool's
+value is the printed table -- a reviewer sees at a glance which metric moved.
+"""
+
+import argparse
+import json
+import sys
+
+# Subtrees that describe the run, not measure it.
+SKIP_KEYS = {"environment", "description", "command", "date", "seed", "calls",
+             "units", "bench", "config"}
+
+LOWER_BETTER_SUFFIXES = ("_ns", "_us", "_ms", "_max", "_total", "_p50", "_p95",
+                         "_p99", "p50", "p95", "p99")
+HIGHER_BETTER_SUFFIXES = ("per_sec",)
+HIGHER_BETTER_KEYS = {"improvement_pct"}
+# "ok" is a success *count*: it scales with the workload length, so comparing
+# it across runs of different --calls would always cry wolf.
+IGNORED_LEAVES = {"count", "ok", "span", "parent", "trace", "host_cpus",
+                  "mhz_per_cpu"}
+
+
+def classify(key):
+    """Returns 'lower', 'higher', or None (not a metric)."""
+    if key in IGNORED_LEAVES:
+        return None
+    if key in HIGHER_BETTER_KEYS or key.endswith(HIGHER_BETTER_SUFFIXES):
+        return "higher"
+    if key.endswith(LOWER_BETTER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def walk(node, path, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in SKIP_KEYS:
+                continue
+            walk(value, path + (key,), out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        direction = classify(path[-1]) if path else None
+        if direction is not None:
+            out[path] = (float(node), direction)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but always exit 0")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    base_metrics, cur_metrics = {}, {}
+    walk(baseline, (), base_metrics)
+    walk(current, (), cur_metrics)
+
+    common = sorted(set(base_metrics) & set(cur_metrics))
+    if not common:
+        print("bench_diff: no comparable metrics found", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'metric':60s} {'baseline':>12s} {'current':>12s} {'delta':>9s}")
+    for path in common:
+        base, direction = base_metrics[path]
+        cur, _ = cur_metrics[path]
+        if base == 0:
+            delta_pct = 0.0 if cur == 0 else float("inf")
+        else:
+            delta_pct = (cur - base) / base * 100.0
+        worse = delta_pct > args.threshold if direction == "lower" \
+            else delta_pct < -args.threshold
+        name = ".".join(path)
+        mark = "  << REGRESSION" if worse else ""
+        print(f"{name:60s} {base:12.1f} {cur:12.1f} {delta_pct:+8.1f}%{mark}")
+        if worse:
+            regressions.append(name)
+
+    only_base = set(base_metrics) - set(cur_metrics)
+    only_cur = set(cur_metrics) - set(base_metrics)
+    if only_base:
+        print(f"note: {len(only_base)} metric(s) only in baseline")
+    if only_cur:
+        print(f"note: {len(only_cur)} metric(s) only in current")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%", file=sys.stderr)
+        return 0 if args.advisory else 1
+    print(f"\nbench_diff: no regressions beyond {args.threshold:.0f}% "
+          f"({len(common)} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
