@@ -10,6 +10,9 @@
 //
 //   usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]
 //                         [--trace-out PATH] [--force-retransmit]
+//                         [--telemetry-port N] [--port-file PATH]
+//                         [--stats-out PATH] [--serve-sec N]
+//                         [--flight-dir DIR] [--stall-bound-us N]
 //
 // --trace-out PATH enables span tracing in every process; each server child
 // writes a Perfetto fragment next to PATH, and the parent merges them with
@@ -18,6 +21,16 @@
 // --force-retransmit drops the first call datagram to server 1 before it
 // reaches the socket, so the trace demonstrably covers a retransmission
 // (loopback UDP never drops on its own).
+//
+// Live telemetry plane (ISSUE 5): --telemetry-port serves the client site's
+// TelemetryHub over HTTP from the transport's poll loop (0 = ephemeral; the
+// chosen port is printed and, with --port-file, written for scripts --
+// scrape /metrics with curl or watch live with tools/ugrpcstat).
+// --serve-sec keeps the client serving that many seconds after the calls
+// finish.  --stats-out writes the final metrics JSON.  --flight-dir arms
+// the flight recorder (watchdog trips and crash signals dump there);
+// --stall-bound-us tightens the stall watchdog's bound so a run with
+// --force-retransmit provably trips it (the CI telemetry-smoke job).
 //
 // Exit status 0 iff every call completed OK with the echoed payload and
 // every server process shut down cleanly.  The CI smoke job runs
@@ -34,11 +47,16 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/config_builder.h"
 #include "core/grpc_state.h"
 #include "core/service.h"
 #include "core/site.h"
+#include "core/telemetry.h"
 #include "net/udp_transport.h"
+#include "obs/live/flight_recorder.h"
+#include "obs/live/telemetry.h"
 #include "obs/perfetto.h"
 #include "obs/trace.h"
 
@@ -57,6 +75,17 @@ struct Cli {
   int timeout_sec = 30;
   std::string trace_out;          ///< empty = tracing off
   bool force_retransmit = false;  ///< drop the first call datagram to server 1
+  int telemetry_port = -1;        ///< -1 = off, 0 = ephemeral
+  std::string port_file;          ///< write the bound telemetry port here
+  std::string stats_out;          ///< write final metrics JSON here
+  int serve_sec = 0;              ///< keep serving after the calls finish
+  std::string flight_dir;         ///< arm the flight recorder
+  long stall_bound_us = 0;        ///< 0 = config-derived watchdog bound
+
+  /// Any flag that needs the client's TelemetryHub?
+  [[nodiscard]] bool telemetry_on() const {
+    return telemetry_port >= 0 || !stats_out.empty() || !flight_dir.empty();
+  }
 };
 
 Cli parse(int argc, char** argv) {
@@ -69,14 +98,25 @@ Cli parse(int argc, char** argv) {
     else if (arg == "--timeout-sec") cli.timeout_sec = next();
     else if (arg == "--trace-out" && i + 1 < argc) cli.trace_out = argv[++i];
     else if (arg == "--force-retransmit") cli.force_retransmit = true;
+    else if (arg == "--telemetry-port") cli.telemetry_port = next();
+    else if (arg == "--port-file" && i + 1 < argc) cli.port_file = argv[++i];
+    else if (arg == "--stats-out" && i + 1 < argc) cli.stats_out = argv[++i];
+    else if (arg == "--serve-sec") cli.serve_sec = next();
+    else if (arg == "--flight-dir" && i + 1 < argc) cli.flight_dir = argv[++i];
+    else if (arg == "--stall-bound-us") cli.stall_bound_us = next();
     else {
       std::fprintf(stderr,
                    "usage: udp_group_call [--servers N] [--calls N] [--timeout-sec N]"
-                   " [--trace-out PATH] [--force-retransmit]\n");
+                   " [--trace-out PATH] [--force-retransmit] [--telemetry-port N]"
+                   " [--port-file PATH] [--stats-out PATH] [--serve-sec N]"
+                   " [--flight-dir DIR] [--stall-bound-us N]\n");
       std::exit(2);
     }
   }
-  if (cli.servers < 1 || cli.calls < 1 || cli.timeout_sec < 1) std::exit(2);
+  if (cli.servers < 1 || cli.calls < 1 || cli.timeout_sec < 1 || cli.serve_sec < 0 ||
+      cli.stall_bound_us < 0) {
+    std::exit(2);
+  }
   return cli;
 }
 
@@ -222,9 +262,45 @@ int main(int argc, char** argv) {
 
   core::Site site(transport, client_id, core::ConfigBuilder::exactly_once().build(), known);
   obs::Tracer tracer;
-  if (!cli.trace_out.empty()) {
+  if (!cli.trace_out.empty() || cli.telemetry_on()) {
+    // Telemetry implies tracing: the hub's span attribution and flight-dump
+    // rings come from the same tracer the spans land in.
     transport.set_tracer(&tracer);
     site.set_tracer(&tracer);
+  }
+
+  // Live telemetry plane for the client site (constructed before boot() so
+  // the hot-path counter pointer is wired into the stack).
+  obs::live::TelemetryHub hub;
+  std::unique_ptr<core::SiteTelemetry> telemetry;
+  if (cli.telemetry_on()) {
+    hub.set_tracer(&tracer);
+    core::SiteTelemetry::Options wopts;
+    if (cli.stall_bound_us > 0) {
+      wopts.bound_override = sim::usec(cli.stall_bound_us);
+      wopts.stall_multiplier = 1.0;
+      wopts.scan_period = sim::msec(5);  // sweep fast enough to catch the stall
+    }
+    telemetry = std::make_unique<core::SiteTelemetry>(hub, site, wopts);
+    if (!cli.flight_dir.empty()) {
+      hub.set_flight_dir(cli.flight_dir);
+      obs::live::install_crash_handler(&hub);
+    }
+    if (cli.telemetry_port >= 0) {
+      std::string err;
+      const std::uint16_t port = transport.serve_telemetry(
+          hub, static_cast<std::uint16_t>(cli.telemetry_port), "127.0.0.1", &err);
+      if (port == 0) {
+        std::fprintf(stderr, "udp_group_call: telemetry listener failed: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("udp_group_call: telemetry on http://127.0.0.1:%u (/metrics, /introspect)\n",
+                  port);
+      if (!cli.port_file.empty() && !write_file(cli.port_file, std::to_string(port) + "\n")) {
+        std::fprintf(stderr, "udp_group_call: cannot write %s\n", cli.port_file.c_str());
+        return 1;
+      }
+    }
   }
   if (cli.force_retransmit) {
     // Drop the first call datagram to server 1 before it reaches the socket:
@@ -255,6 +331,7 @@ int main(int argc, char** argv) {
   }
 
   site.boot();
+  if (telemetry != nullptr) telemetry->start_watchdog();
   core::Client client(site);
 
   int ok = 0;
@@ -273,6 +350,16 @@ int main(int argc, char** argv) {
       site.domain());
 
   const bool finished = transport.run_until_fiber_done(fiber, sim::seconds(cli.timeout_sec));
+
+  // Keep the telemetry endpoint live for external scrapers (curl, ugrpcstat,
+  // the CI smoke job) before tearing anything down.
+  if (cli.serve_sec > 0) transport.run_for(sim::seconds(cli.serve_sec));
+
+  bool stats_ok = true;
+  if (!cli.stats_out.empty()) {
+    stats_ok = write_file(cli.stats_out, hub.metrics_json());
+    if (!stats_ok) std::fprintf(stderr, "udp_group_call: cannot write %s\n", cli.stats_out.c_str());
+  }
 
   // Shut the servers down: closing the control pipes EOFs their serve loop.
   for (const Child& c : children) ::close(c.ctl_fd);
@@ -323,5 +410,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.bytes_delivered));
   if (!finished) std::fprintf(stderr, "udp_group_call: client did not finish before timeout\n");
   if (!children_ok) std::fprintf(stderr, "udp_group_call: a server process exited abnormally\n");
-  return (finished && ok == cli.calls && bad_payload == 0 && children_ok && trace_ok) ? 0 : 1;
+  return (finished && ok == cli.calls && bad_payload == 0 && children_ok && trace_ok && stats_ok)
+             ? 0
+             : 1;
 }

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/live/site_stats.h"
 #include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
@@ -111,6 +112,10 @@ struct ClientRecord {
   /// at completion; 0 when tracing is off.  Retransmission timers re-enter
   /// the context {id, span} so late sends stay on the original trace.
   std::uint64_t span = 0;
+  /// Transport time the call was issued; the live-telemetry introspection
+  /// reports pending ages from it and the stall watchdog compares it against
+  /// the termination bound.
+  sim::Time issued_at = 0;
 };
 
 // ---- server-side table (sRPC) ----
@@ -123,6 +128,9 @@ struct ServerRecord {
   ProcessId client;
   Incarnation client_inc = 0;
   HoldArray hold{};  ///< which gating properties have been satisfied
+  /// Transport time the Call message arrived; entries pending far past the
+  /// termination bound are flagged as orphaned by the stall watchdog.
+  sim::Time arrived_at = 0;
 };
 
 // ---- checkpoint participation (Atomic Execution) ----
@@ -193,6 +201,13 @@ struct GrpcState {
   /// micro-protocols record through note() so every record site stays a
   /// single pointer check.
   obs::SiteTrace* trace = nullptr;
+
+  /// Long-lived operational counters of the live telemetry plane
+  /// (obs/live/site_stats.h); nullptr = telemetry off.  Unlike `trace`, this
+  /// outlives the stack: crash/recover rebuilds GrpcState but the SiteStats
+  /// keeps accumulating.  Same cost model as note(): every record site is a
+  /// single pointer check when disabled.
+  obs::live::SiteStats* live = nullptr;
 
   void note(obs::Kind kind, std::uint64_t call = 0, std::uint64_t a = 0, std::uint64_t b = 0) {
     if (trace) trace->record(transport.now(), kind, call, a, b);

@@ -36,6 +36,7 @@ void Acceptance::complete(ClientRecord& rec) {
   // (deviation from the paper's unconditional V; see DESIGN.md).
   if (rec.status == Status::kWaiting) {
     rec.status = Status::kOk;
+    if (state_.live) ++state_.live->calls_completed;
     state_.note(obs::Kind::kCallCompleted, rec.id.value(),
                 static_cast<std::uint64_t>(Status::kOk));
     state_.span_close(rec.span);  // root span of the call's trace

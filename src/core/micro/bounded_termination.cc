@@ -40,6 +40,7 @@ sim::Task<> BoundedTermination::drain_expired() {
     if (rec != nullptr && rec->status == Status::kWaiting) {
       rec->status = Status::kTimeout;
       ++timeouts_fired_;
+      if (state_.live) ++state_.live->calls_failed;
       state_.note(obs::Kind::kDeadlineExpired, id.value());
       state_.note(obs::Kind::kCallCompleted, id.value(),
                   static_cast<std::uint64_t>(Status::kTimeout));

@@ -93,6 +93,7 @@ sim::Task<> ReliableCommunication::handle_timeout() {
       if (msg.ackid != 0) ++piggybacked_acks_;
       state_.net_push(p, msg);
       ++retransmissions_;
+      if (state_.live) ++state_.live->retransmissions;
       state_.note(obs::Kind::kRetransmit, rec->id.value(), p.value());
     }
   }

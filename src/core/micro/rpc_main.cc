@@ -33,6 +33,7 @@ sim::Task<> RpcMain::msg_from_net(runtime::EventContext& ctx) {
   rec->server = msg.server;
   rec->client = msg.sender;
   rec->client_inc = msg.inc;
+  rec->arrived_at = state_.transport.now();
   // Overwriting any previous record for this id implements the default
   // at-least-once behaviour: without Unique Execution a retransmitted call
   // is simply executed again.
@@ -91,11 +92,13 @@ sim::Task<> RpcMain::msg_from_user(runtime::EventContext& ctx) {
     auto guard = co_await state_.pRPC_mutex.lock();
     const CallId id = make_call_id(state_.my_id, state_.next_seq++);
     rec = std::make_shared<ClientRecord>(state_.sched, id, umsg.op, umsg.args, umsg.server);
+    rec->issued_at = state_.transport.now();
     for (ProcessId p : state_.transport.group_members(umsg.server)) {
       rec->pending.emplace(p, PendingServer{});
     }
     state_.pRPC[id] = rec;
   }
+  if (state_.live) ++state_.live->calls_started;
   state_.note(obs::Kind::kCallIssued, rec->id.value(), umsg.server.value(), state_.inc_number);
   // Root of the call's distributed trace: the trace id IS the call id
   // (globally unique), so spans recorded by other processes join without any

@@ -23,17 +23,8 @@ constexpr std::uint64_t group_key(ProcessId from, GroupId group) {
 
 }  // namespace
 
-Network::Network(sim::Scheduler& sched) : sched_(sched), rng_(sched.rng().fork()) {}
-
-std::uint64_t Network::unroutable_occurrences_to_log(std::uint64_t key) {
-  UnroutableLogState& state = unroutable_log_[key];
-  ++state.unlogged;
-  const sim::Time now = sched_.now();
-  if (state.ever_logged && now - state.last_log < kUnroutableLogPeriod) return 0;
-  state.ever_logged = true;
-  state.last_log = now;
-  return std::exchange(state.unlogged, 0);
-}
+Network::Network(sim::Scheduler& sched)
+    : sched_(sched), rng_(sched.rng().fork()), unroutable_log_(kUnroutableLogPeriod) {}
 
 Endpoint& Network::attach(ProcessId process, DomainId domain) {
   // In-place construction: Endpoint is pinned (handler table address escapes
@@ -90,7 +81,8 @@ void Network::transmit(ProcessId from, ProcessId to, ProtocolId proto, const Buf
       obs_->site(from).record(sched_.now(), obs::Kind::kMsgUnroutable, 0, to.value(),
                               proto.value());
     }
-    if (const std::uint64_t n = unroutable_occurrences_to_log(link_key(from, to)); n == 1) {
+    if (const std::uint64_t n = unroutable_log_.occurrences_to_log(link_key(from, to), sched_.now());
+        n == 1) {
       UGRPC_LOG(kWarn, "net: unroutable %u->%u proto=%u (destination not attached)", from.value(),
                 to.value(), proto.value());
     } else if (n > 1) {
@@ -176,7 +168,9 @@ void Network::multicast_from(ProcessId from, GroupId group, ProtocolId proto,
       obs_->site(from).record(sched_.now(), obs::Kind::kMsgUnroutable, 0, group.value(),
                               proto.value());
     }
-    if (const std::uint64_t n = unroutable_occurrences_to_log(group_key(from, group)); n == 1) {
+    if (const std::uint64_t n =
+            unroutable_log_.occurrences_to_log(group_key(from, group), sched_.now());
+        n == 1) {
       UGRPC_LOG(kWarn, "net: unroutable multicast from %u to undefined group %u proto=%u",
                 from.value(), group.value(), proto.value());
     } else if (n > 1) {

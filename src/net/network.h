@@ -31,6 +31,7 @@
 
 #include "common/buffer.h"
 #include "common/ids.h"
+#include "common/rate_limited_log.h"
 #include "net/fault.h"
 #include "net/transport.h"
 #include "obs/trace.h"
@@ -137,16 +138,6 @@ class Network {
   void schedule_delivery(Packet packet, sim::Duration delay);
   [[nodiscard]] const FaultSpec& faults_for(ProcessId from, ProcessId to) const;
 
-  /// Rate limiter for unroutable-destination warnings: a retransmitting
-  /// client can hit the same dead destination thousands of times per
-  /// simulated second, and one log line per packet drowns everything else.
-  /// Policy (per key = link or (sender, group)): log the first occurrence in
-  /// full, then at most one summary per kUnroutableLogPeriod carrying the
-  /// exact count of suppressed occurrences.  stats_.unroutable stays exact
-  /// regardless.  Returns the number of occurrences to report (0 = stay
-  /// silent, 1 = first occurrence, n>1 = summary of n since the last line).
-  [[nodiscard]] std::uint64_t unroutable_occurrences_to_log(std::uint64_t key);
-
   sim::Scheduler& sched_;
   sim::Rng rng_;
   FaultSpec default_faults_;
@@ -159,12 +150,10 @@ class Network {
   PacketTracer tracer_;
   obs::Tracer* obs_ = nullptr;
 
-  struct UnroutableLogState {
-    std::uint64_t unlogged = 0;  ///< occurrences since the last emitted line
-    sim::Time last_log = 0;
-    bool ever_logged = false;
-  };
-  std::unordered_map<std::uint64_t, UnroutableLogState> unroutable_log_;
+  /// Unroutable-destination warnings rate-limited per key (link or
+  /// (sender, group)), exact counts; stats_.unroutable stays exact
+  /// regardless.  See common/rate_limited_log.h for the shared policy.
+  RateLimitedLog unroutable_log_;
 };
 
 }  // namespace ugrpc::net

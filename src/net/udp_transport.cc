@@ -18,6 +18,15 @@ namespace ugrpc::net {
 
 namespace {
 
+/// Rate-limiter keys: one space for (src, dst) links, one for (src, group).
+constexpr std::uint64_t link_key(ProcessId from, ProcessId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+constexpr std::uint64_t group_key(ProcessId from, GroupId group) {
+  return (std::uint64_t{1} << 63) | (static_cast<std::uint64_t>(from.value()) << 16) |
+         group.value();
+}
+
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -145,8 +154,14 @@ void UdpTransport::send_from(ProcessId src, ProcessId dst, ProtocolId proto, Buf
   if (dst_it == peers_.end()) {
     ++stats_.unroutable;
     if (obs_) obs_->site(src).record(now(), obs::Kind::kMsgUnroutable, 0, dst.value(), proto.value());
-    UGRPC_LOG(kWarn, "udp: unroutable %u->%u proto=%u (no address-book entry)", src.value(),
-              dst.value(), proto.value());
+    if (const std::uint64_t n = unroutable_log_.occurrences_to_log(link_key(src, dst), now());
+        n == 1) {
+      UGRPC_LOG(kWarn, "udp: unroutable %u->%u proto=%u (no address-book entry)", src.value(),
+                dst.value(), proto.value());
+    } else if (n > 1) {
+      UGRPC_LOG(kWarn, "udp: unroutable %u->%u: %llu more since last report (latest proto=%u)",
+                src.value(), dst.value(), static_cast<unsigned long long>(n), proto.value());
+    }
     return;
   }
   ++stats_.sent;
@@ -210,8 +225,14 @@ void UdpTransport::multicast_from(ProcessId src, GroupId group, ProtocolId proto
   auto it = groups_.find(group);
   if (it == groups_.end()) {
     ++stats_.unroutable;
-    UGRPC_LOG(kWarn, "udp: unroutable multicast from %u to undefined group %u proto=%u",
-              src.value(), group.value(), proto.value());
+    if (const std::uint64_t n = unroutable_log_.occurrences_to_log(group_key(src, group), now());
+        n == 1) {
+      UGRPC_LOG(kWarn, "udp: unroutable multicast from %u to undefined group %u proto=%u",
+                src.value(), group.value(), proto.value());
+    } else if (n > 1) {
+      UGRPC_LOG(kWarn, "udp: unroutable multicast from %u to group %u: %llu more since last report",
+                src.value(), group.value(), static_cast<unsigned long long>(n));
+    }
     return;
   }
   for (ProcessId member : it->second) {
@@ -303,17 +324,22 @@ void UdpTransport::poll_once(sim::Duration max_wait) {
 
   std::vector<pollfd> fds;
   std::vector<ProcessId> owners;
-  fds.reserve(attachments_.size());
+  fds.reserve(attachments_.size() + 1);
   for (auto& [process, att] : attachments_) {
     fds.push_back(pollfd{att.fd, POLLIN, 0});
     owners.push_back(process);
+  }
+  // The telemetry listener rides the same poll set so a scrape wakes the
+  // loop immediately; its connections progress in the poll_once() below.
+  if (telemetry_ != nullptr && telemetry_->listen_fd() >= 0) {
+    fds.push_back(pollfd{telemetry_->listen_fd(), POLLIN, 0});
   }
   const sim::Duration wait = poll_wait(max_wait);
   const int timeout_ms = static_cast<int>(std::min<sim::Duration>((wait + 999) / 1000, 1000));
   const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
   if (ready > 0) {
     std::byte buf[kMaxDatagram + 1];
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    for (std::size_t i = 0; i < owners.size(); ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
       auto att_it = attachments_.find(owners[i]);
       if (att_it == attachments_.end()) continue;  // detached by a callback
@@ -325,7 +351,20 @@ void UdpTransport::poll_once(sim::Duration max_wait) {
     }
   }
 
+  // Scrapes are answered here, between executor runs: the fibers are all
+  // suspended, so the hub renders a consistent point-in-time snapshot.
+  if (telemetry_ != nullptr) telemetry_->poll_once();
+
   sync_executor();
+}
+
+std::uint16_t UdpTransport::serve_telemetry(obs::live::TelemetryHub& hub, std::uint16_t port,
+                                            const std::string& host, std::string* error) {
+  auto server = std::make_unique<obs::live::TelemetryServer>(hub);
+  if (!server->listen(host, port, error)) return 0;
+  telemetry_ = std::move(server);
+  UGRPC_LOG(kDebug, "udp: telemetry listening on %s:%u", host.c_str(), telemetry_->port());
+  return telemetry_->port();
 }
 
 void UdpTransport::run_for(sim::Duration d) {

@@ -1,0 +1,53 @@
+// Crash flight recorder (tentpole part 4 of ISSUE 5).
+//
+// When something goes irrecoverably wrong -- a crash signal, a checker
+// violation, a watchdog trip -- the most valuable artifacts are the ones
+// already in memory: the trace rings, the span fragments, the metrics, and
+// the live introspection snapshot.  dump_flight() persists all of them into
+// one fresh timestamped directory:
+//
+//   MANIFEST.json   reason, wall-clock stamp, file list, plus owner-provided
+//                   fields (core adds the checker Expect derived from the
+//                   site's Config, so the dump is checkable standalone)
+//   trace.json      Tracer::dump_json()       (reload: obs/live/trace_load.h)
+//   spans.json      export_perfetto()         (loadable by ui.perfetto.dev
+//                                              and tools/check_perfetto.py)
+//   metrics.json    TelemetryHub::metrics_json()
+//   metrics.prom    TelemetryHub::metrics_text()
+//   introspect.json TelemetryHub::introspection_json()
+//
+// Atomicity: everything is written into a ".tmp-" sibling and rename(2)d
+// into place, so a consumer polling the directory never observes a partial
+// dump -- either the final name exists with all files, or nothing does.
+//
+// install_crash_handler() arms SIGSEGV/SIGBUS/SIGFPE/SIGABRT to attempt one
+// best-effort dump before re-raising with default disposition.  The handler
+// allocates and does buffered I/O -- NOT async-signal-safe in the strict
+// sense -- which is the standard flight-recorder trade-off: the process is
+// dying anyway, and a truncated dump (the tmp directory, never renamed)
+// cannot be mistaken for a complete one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ugrpc::obs::live {
+
+class TelemetryHub;
+
+/// Writes one dump under hub.flight_dir() (which must be non-empty; created
+/// if missing).  `seq` disambiguates dumps within one wall-clock second.
+/// Returns the final dump directory, or nullopt with a diagnostic in
+/// `error` (when non-null) on I/O failure.
+[[nodiscard]] std::optional<std::string> dump_flight(const TelemetryHub& hub,
+                                                     std::string_view reason, std::uint64_t seq,
+                                                     std::string* error = nullptr);
+
+/// Arms fatal-signal handlers that trip `hub` once (reason "signal:<name>")
+/// and re-raise.  `hub` must outlive the process' last chance to crash; pass
+/// nullptr to disarm.  Only one hub can be armed per process.
+void install_crash_handler(TelemetryHub* hub);
+
+}  // namespace ugrpc::obs::live

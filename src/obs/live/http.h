@@ -1,0 +1,83 @@
+// TelemetryServer: a tiny non-blocking HTTP/1.0 listener over a TelemetryHub
+// (tentpole of ISSUE 5).
+//
+// Serves the live plane to off-the-shelf consumers -- `curl`, a Prometheus
+// scraper, tools/ugrpcstat -- without threads: the owner (UdpTransport's
+// poll loop) calls poll_once() every loop iteration, which accepts pending
+// connections, progresses partial reads/writes with zero-timeout poll(2),
+// and closes finished responses.  Because poll_once() runs *between* fibers
+// of the cooperative executor, every response is a consistent point-in-time
+// snapshot of the site -- no locks, no torn reads.
+//
+// Routes (GET only; one request per connection, Connection: close):
+//   /metrics        Prometheus text exposition        (hub.metrics_text())
+//   /metrics.json   same data as JSON                 (hub.metrics_json())
+//   /introspect     channelz-style live-state JSON    (hub.introspection_json())
+//   /healthz        "ok"
+//   /               plain-text index of the above
+//
+// The listener binds one host/port (default loopback, port 0 = ephemeral --
+// parallel CI runs cannot collide; the example publishes the chosen port via
+// --port-file).  Malformed or oversized requests get a 400 and the
+// connection dropped; slow readers are bounded by a per-connection byte cap,
+// not timeouts (the process' lifetime bounds the leak).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+namespace ugrpc::obs::live {
+
+class TelemetryHub;
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryHub& hub) : hub_(hub) {}
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds + listens (non-blocking).  `port` 0 picks an ephemeral port.
+  /// False (with a diagnostic in `error` when non-null) on failure.
+  bool listen(const std::string& host, std::uint16_t port, std::string* error = nullptr);
+
+  /// The bound port (after listen()), 0 otherwise.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// The listening socket, for inclusion in an external poll set (-1 when
+  /// not listening).  Readability means a connection is waiting.
+  [[nodiscard]] int listen_fd() const { return listen_fd_; }
+
+  /// Accepts and progresses all connections without blocking.  Call from
+  /// the event loop on every iteration (cheap when idle: one poll(2) with
+  /// timeout 0 over the open fds).
+  void poll_once();
+
+  /// Closes the listener and every open connection.
+  void close();
+
+  [[nodiscard]] std::size_t open_connections() const { return conns_.size(); }
+  /// Requests answered (any status) since construction.
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;       ///< request bytes until the blank line
+    std::string out;      ///< rendered response, drained incrementally
+    std::size_t sent = 0;
+    bool responding = false;
+  };
+
+  void handle_request(Conn& conn);
+  [[nodiscard]] std::string route(const std::string& method, const std::string& path);
+
+  TelemetryHub& hub_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::list<Conn> conns_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace ugrpc::obs::live

@@ -1,0 +1,342 @@
+#include "obs/live/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace ugrpc::obs::live {
+
+namespace {
+
+const JsonValue kNullValue{};
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text{};
+  std::size_t pos = 0;
+  std::string error{};
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void fail(const std::string& what) {
+    if (error.empty()) error = what + " at byte " + std::to_string(pos);
+  }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos + 4 > text.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    out.clear();
+    while (true) {
+      if (at_end()) {
+        fail("unterminated string");
+        return false;
+      }
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) {
+        fail("unterminated escape");
+        return false;
+      }
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) {
+            fail("bad \\u escape");
+            return false;
+          }
+          // Surrogate pair: combine; lone surrogates degrade to U+FFFD.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            std::uint32_t lo = 0;
+            if (pos + 1 < text.size() && text[pos] == '\\' && text[pos + 1] == 'u') {
+              pos += 2;
+              if (!parse_hex4(lo)) {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("bad escape");
+          return false;
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (consume('-')) {
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    if (token.empty() || token == "-") {
+      fail("bad number");
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      fail("bad number");
+      return false;
+    }
+    std::optional<std::int64_t> i;
+    std::optional<std::uint64_t> u;
+    if (integral) {
+      errno = 0;
+      char* iend = nullptr;
+      const long long ll = std::strtoll(token.c_str(), &iend, 10);
+      if (errno == 0 && iend == token.c_str() + token.size()) i = ll;
+      if (token[0] != '-') {
+        errno = 0;
+        char* uend = nullptr;
+        const unsigned long long ull = std::strtoull(token.c_str(), &uend, 10);
+        if (errno == 0 && uend == token.c_str() + token.size()) u = ull;
+      }
+    }
+    out = JsonValue::make_number(d, i, u);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (at_end()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      JsonValue::Object obj;
+      skip_ws();
+      if (consume('}')) {
+        out = JsonValue::make_object(std::move(obj));
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) {
+          fail("expected ':'");
+          return false;
+        }
+        JsonValue v;
+        if (!parse_value(v, depth + 1)) return false;
+        obj.insert_or_assign(std::move(key), std::move(v));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        fail("expected ',' or '}'");
+        return false;
+      }
+      out = JsonValue::make_object(std::move(obj));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      JsonValue::Array arr;
+      skip_ws();
+      if (consume(']')) {
+        out = JsonValue::make_array(std::move(arr));
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!parse_value(v, depth + 1)) return false;
+        arr.push_back(std::move(v));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) break;
+        fail("expected ',' or ']'");
+        return false;
+      }
+      out = JsonValue::make_array(std::move(arr));
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = JsonValue::make_string(std::move(s));
+      return true;
+    }
+    if (consume_word("true")) {
+      out = JsonValue::make_bool(true);
+      return true;
+    }
+    if (consume_word("false")) {
+      out = JsonValue::make_bool(false);
+      return true;
+    }
+    if (consume_word("null")) {
+      out = JsonValue::make_null();
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) return parse_number(out);
+    fail("unexpected character");
+    return false;
+  }
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  if (type_ != Type::kObject) return kNullValue;
+  const auto it = object_.find(key);
+  return it == object_.end() ? kNullValue : it->second;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d, std::optional<std::int64_t> i,
+                                 std::optional<std::uint64_t> u) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  v.exact_i64_ = i;
+  v.exact_u64_ = u;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(Array a) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::make_object(Object o) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  Parser p{.text = text};
+  JsonValue out;
+  if (!p.parse_value(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error != nullptr) *error = "trailing garbage at byte " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace ugrpc::obs::live

@@ -1,0 +1,53 @@
+#include "obs/live/telemetry.h"
+
+#include "obs/live/flight_recorder.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace ugrpc::obs::live {
+
+void TelemetryHub::set_tracer(const Tracer* t) {
+  tracer_ = t;
+  if (t != nullptr) stats_.attach_tracer(*t);
+}
+
+std::string TelemetryHub::metrics_text() const {
+  std::string out = render_prometheus(stats_.registry(), prom_);
+  if (tracer_ != nullptr) {
+    // Fold spans into a throwaway registry per scrape: the tracer is long-
+    // lived (its rings feed the flight recorder, so it is never cleared) and
+    // Profile::add re-reads every closed span -- accumulating into a
+    // persistent registry would double-count monotonically.
+    Profile profile;
+    profile.add(*tracer_);
+    if (!profile.empty()) {
+      Registry span_reg;
+      profile.export_to(span_reg);
+      out += render_prometheus(span_reg, prom_);
+    }
+  }
+  return out;
+}
+
+std::string TelemetryHub::metrics_json() const {
+  std::string out = "{\"site\":" + stats_.registry().to_json();
+  if (tracer_ != nullptr) {
+    Profile profile;
+    profile.add(*tracer_);
+    if (!profile.empty()) out += ",\"spans\":" + profile.to_json();
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<std::string> TelemetryHub::trip(std::string_view reason, std::string* error) {
+  if (flight_dir_.empty()) {
+    if (error != nullptr) *error = "flight recorder disabled (no directory configured)";
+    return std::nullopt;
+  }
+  const std::optional<std::string> dir = dump_flight(*this, reason, ++dump_seq_, error);
+  if (dir.has_value()) ++stats_.flight_dumps;
+  return dir;
+}
+
+}  // namespace ugrpc::obs::live

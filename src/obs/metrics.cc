@@ -16,8 +16,7 @@ std::uint64_t Histogram::quantile(double q) const {
     seen += buckets_[i];
     if (seen >= rank) {
       // Upper bound of bucket i: values with bit_width i, i.e. < 2^i.
-      if (i == 0) return 0;
-      const std::uint64_t upper = (i >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << i) - 1);
+      const std::uint64_t upper = bucket_upper(i);
       return upper < max_ ? upper : max_;
     }
   }

@@ -59,6 +59,17 @@ class Histogram {
   /// Upper bound of the bucket containing the q-quantile (0 <= q <= 1).
   [[nodiscard]] std::uint64_t quantile(double q) const;
 
+  // ---- raw bucket access (exposition renderers) ----
+
+  /// Samples in bucket i: values with bit_width i, i.e. in (upper(i-1),
+  /// upper(i)].  Bucket kBuckets-1 additionally holds everything larger.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
+  /// Inclusive upper bound of bucket i (0, 1, 3, 7, ...; ~0 for the last).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) {
+    if (i == 0) return 0;
+    return (i >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << i) - 1);
+  }
+
  private:
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) {
     std::size_t b = 0;
@@ -93,6 +104,21 @@ class Registry {
   /// All metrics as one JSON object.  Histograms dump as
   /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p99":..}.
   [[nodiscard]] std::string to_json() const;
+
+  // ---- read-only iteration (exposition renderers; obs/live/prometheus.h) ----
+  // Name order follows the underlying maps (lexicographic).  Gauge reads are
+  // evaluated at visit time.
+
+  void for_each_counter(const std::function<void(const std::string&, const Counter&)>& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  void for_each_gauge(const std::function<void(const std::string&, std::uint64_t)>& fn) const {
+    for (const auto& [name, read] : gauges_) fn(name, read());
+  }
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
 
  private:
   // node-based maps keep references stable across insertion

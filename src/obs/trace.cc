@@ -42,6 +42,14 @@ std::string_view kind_name(Kind k) {
   return "<invalid>";
 }
 
+Kind kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    const Kind k = static_cast<Kind>(i);
+    if (kind_name(k) == name) return k;
+  }
+  return Kind::kKindCount;
+}
+
 std::string_view span_kind_name(SpanKind k) {
   switch (k) {
     case SpanKind::kEventChain: return "chain";

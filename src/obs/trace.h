@@ -86,6 +86,10 @@ inline constexpr std::size_t kKindCount = static_cast<std::size_t>(Kind::kKindCo
 /// Short stable name, e.g. "exec_committed" (used in JSON dumps).
 [[nodiscard]] std::string_view kind_name(Kind k);
 
+/// Inverse of kind_name (flight-recorder dumps are reloaded through this);
+/// kKindCount for an unknown name.
+[[nodiscard]] Kind kind_from_name(std::string_view name);
+
 /// One trace record.  Plain data; 48 bytes.
 struct Event {
   std::uint64_t seq = 0;   ///< tracer-global, monotonically increasing

@@ -1,0 +1,78 @@
+// Unit tests for the shared keyed rate limiter (common/rate_limited_log.h).
+//
+// The policy these tests pin is shared by every warning site that used to
+// hand-roll it (net/network.cc unroutable sends, the telemetry watchdog):
+// first occurrence logs immediately, then at most one summary per period
+// with the EXACT suppressed count.
+#include "common/rate_limited_log.h"
+
+#include <gtest/gtest.h>
+
+namespace ugrpc {
+namespace {
+
+TEST(RateLimitedLog, FirstOccurrenceLogsImmediately) {
+  RateLimitedLog log(1000);
+  EXPECT_EQ(log.occurrences_to_log(7, 0), 1u);
+}
+
+TEST(RateLimitedLog, WithinPeriodStaysSilent) {
+  RateLimitedLog log(1000);
+  EXPECT_EQ(log.occurrences_to_log(7, 0), 1u);
+  EXPECT_EQ(log.occurrences_to_log(7, 1), 0u);
+  EXPECT_EQ(log.occurrences_to_log(7, 999), 0u);
+  EXPECT_EQ(log.pending(7), 2u);
+}
+
+TEST(RateLimitedLog, SummaryCarriesExactSuppressedCount) {
+  RateLimitedLog log(1000);
+  EXPECT_EQ(log.occurrences_to_log(7, 0), 1u);
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(log.occurrences_to_log(7, i), 0u);
+  // The occurrence at t=1000 itself plus the 5 suppressed ones.
+  EXPECT_EQ(log.occurrences_to_log(7, 1000), 6u);
+  EXPECT_EQ(log.pending(7), 0u);
+}
+
+TEST(RateLimitedLog, KeysAreIndependent) {
+  RateLimitedLog log(1000);
+  EXPECT_EQ(log.occurrences_to_log(1, 0), 1u);
+  EXPECT_EQ(log.occurrences_to_log(2, 0), 1u);
+  EXPECT_EQ(log.occurrences_to_log(1, 10), 0u);
+  EXPECT_EQ(log.occurrences_to_log(2, 1000), 1u);
+  EXPECT_EQ(log.pending(1), 1u);
+}
+
+TEST(RateLimitedLog, QuietKeyLogsAgainAfterPeriod) {
+  RateLimitedLog log(1000);
+  EXPECT_EQ(log.occurrences_to_log(7, 0), 1u);
+  // Nothing happens for a long time; the next occurrence is a fresh single.
+  EXPECT_EQ(log.occurrences_to_log(7, 50000), 1u);
+}
+
+TEST(RateLimitedLog, LoggedCountsSumToTotalOccurrences) {
+  // Exactness invariant: no matter how occurrences interleave with the
+  // period boundary, the sum of returned counts equals the total offered.
+  RateLimitedLog log(100);
+  std::uint64_t offered = 0;
+  std::uint64_t reported = 0;
+  std::int64_t now = 0;
+  for (int step = 0; step < 1000; ++step) {
+    now += (step * 7919) % 37;  // deterministic irregular spacing
+    ++offered;
+    reported += log.occurrences_to_log(3, now);
+  }
+  reported += log.pending(3);
+  EXPECT_EQ(reported, offered);
+}
+
+TEST(RateLimitedLog, ClearForgetsHistory) {
+  RateLimitedLog log(1000);
+  EXPECT_EQ(log.occurrences_to_log(7, 0), 1u);
+  EXPECT_EQ(log.occurrences_to_log(7, 1), 0u);
+  log.clear();
+  EXPECT_EQ(log.pending(7), 0u);
+  EXPECT_EQ(log.occurrences_to_log(7, 2), 1u) << "cleared key logs like a fresh one";
+}
+
+}  // namespace
+}  // namespace ugrpc

@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold PCT] [--advisory]
+                  [--github-summary]
 
 Walks both JSON trees and compares every numeric metric present in both
 (matched by path).  A metric's direction is inferred from its key name:
@@ -20,10 +21,14 @@ reported but the exit status is 0.  Exits 2 on usage or file errors.
 Bench numbers from shared CI runners are noisy; the default threshold is
 deliberately loose, and the CI wiring runs in advisory mode.  The tool's
 value is the printed table -- a reviewer sees at a glance which metric moved.
+``--github-summary`` additionally appends the table as GitHub-flavored
+markdown to ``$GITHUB_STEP_SUMMARY`` (stdout when unset), so the diff shows
+up on the job's summary page without digging through the log.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Subtrees that describe the run, not measure it.
@@ -63,6 +68,38 @@ def walk(node, path, out):
             out[path] = (float(node), direction)
 
 
+def write_github_summary(rows, threshold, advisory):
+    """Appends the diff as a markdown table to $GITHUB_STEP_SUMMARY."""
+    n_regressed = sum(1 for r in rows if r[4])
+    lines = ["### Bench diff vs committed baseline", ""]
+    if n_regressed:
+        mode = "advisory" if advisory else "enforced"
+        lines.append(f"**{n_regressed} metric(s) beyond {threshold:.0f}% "
+                     f"({mode})**")
+    else:
+        lines.append(f"No regressions beyond {threshold:.0f}% "
+                     f"({len(rows)} metrics compared).")
+    lines += ["", "| metric | baseline | current | delta | |",
+              "|---|---:|---:|---:|---|"]
+    # Full tables drown the summary page: show regressions plus the biggest
+    # movers, cap the row count.
+    shown = sorted(rows, key=lambda r: (not r[4], -abs(r[3])))[:25]
+    for name, base, cur, delta_pct, worse in sorted(shown):
+        flag = ":warning:" if worse else ""
+        lines.append(f"| `{name}` | {base:.1f} | {cur:.1f} "
+                     f"| {delta_pct:+.1f}% | {flag} |")
+    if len(rows) > len(shown):
+        lines.append(f"\n({len(rows) - len(shown)} additional metric(s) "
+                     "within threshold; full table in the job log.)")
+    text = "\n".join(lines) + "\n"
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if path:
+        with open(path, "a") as f:
+            f.write(text)
+    else:
+        print(text)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -71,6 +108,8 @@ def main():
                         help="regression threshold in percent (default 20)")
     parser.add_argument("--advisory", action="store_true",
                         help="report regressions but always exit 0")
+    parser.add_argument("--github-summary", action="store_true",
+                        help="append a markdown table to $GITHUB_STEP_SUMMARY")
     args = parser.parse_args()
 
     try:
@@ -92,6 +131,7 @@ def main():
         return 2
 
     regressions = []
+    rows = []  # (name, base, cur, delta_pct, worse)
     print(f"{'metric':60s} {'baseline':>12s} {'current':>12s} {'delta':>9s}")
     for path in common:
         base, direction = base_metrics[path]
@@ -105,8 +145,12 @@ def main():
         name = ".".join(path)
         mark = "  << REGRESSION" if worse else ""
         print(f"{name:60s} {base:12.1f} {cur:12.1f} {delta_pct:+8.1f}%{mark}")
+        rows.append((name, base, cur, delta_pct, worse))
         if worse:
             regressions.append(name)
+
+    if args.github_summary:
+        write_github_summary(rows, args.threshold, advisory=args.advisory)
 
     only_base = set(base_metrics) - set(cur_metrics)
     only_cur = set(cur_metrics) - set(base_metrics)
